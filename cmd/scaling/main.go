@@ -1,0 +1,18 @@
+// Command scaling prints Figure 5: off-chip DRAM bandwidth by memory
+// generation and the per-socket thread count needed to consume it at
+// the industry provisioning of ~2 GB/s per thread — the paper's Key
+// Observation #5 that future sockets need 256-512 threads.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"simr/internal/core"
+)
+
+func main() {
+	fmt.Println("Figure 5: off-chip DRAM bandwidth and thread scaling")
+	core.WriteFig5(os.Stdout, core.Fig5Scaling())
+	fmt.Println("\n(paper: up to 256 threads/socket with DDR5, 512 with DDR6/HBM)")
+}

@@ -1,0 +1,87 @@
+// Command syssim reproduces Figure 22: the system-level QPS sweep of
+// end-to-end p99 tail and average latency for the CPU-based system and
+// the RPU-based system with and without batch splitting, on the User
+// microservice path (WebServer → User → McRouter → Memcached →
+// Storage).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"simr/internal/queuesim"
+)
+
+func main() {
+	seconds := flag.Float64("seconds", 4, "simulated seconds per load point")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	maxQPS := flag.Float64("max", 70000, "highest offered load")
+	points := flag.Int("points", 12, "number of load points")
+	composePost := flag.Bool("composepost", false, "sweep the Figure 3 compose-post path instead of the User path")
+	flag.Parse()
+
+	var qps []float64
+	for i := 1; i <= *points; i++ {
+		qps = append(qps, *maxQPS*float64(i)/float64(*points))
+	}
+
+	if *composePost {
+		sweepComposePost(*seconds, *seed, *maxQPS, *points)
+		return
+	}
+	fmt.Println("Figure 22: end-to-end tail and average latency vs offered load")
+	fmt.Println("(paper: CPU saturates ~15 kQPS; RPU w/ split ~60 kQPS at similar latency;")
+	fmt.Println(" RPU w/o split shows elevated average latency but acceptable tail)")
+	fmt.Println()
+
+	modes := []struct {
+		name       string
+		rpu, split bool
+	}{
+		{"cpu", false, false},
+		{"rpu-nosplit", true, false},
+		{"rpu-split", true, true},
+	}
+	for _, mode := range modes {
+		fmt.Printf("%s:\n", mode.name)
+		fmt.Printf("  %8s %10s %10s %10s %8s %6s\n", "qps", "done/s", "p99(ms)", "avg(ms)", "util", "fill")
+		for _, q := range qps {
+			cfg := queuesim.DefaultConfig()
+			cfg.QPS = q
+			cfg.Seconds = *seconds
+			cfg.Seed = *seed
+			cfg.RPU = mode.rpu
+			cfg.Split = mode.split
+			m := queuesim.Run(cfg)
+			measured := cfg.Seconds - cfg.Warmup
+			fmt.Printf("  %8.0f %10.0f %10.2f %10.2f %8.2f %6.1f\n",
+				q, m.Throughput(measured), m.Latency.Percentile(99), m.Latency.Mean(),
+				m.UserUtil, m.AvgBatchFill)
+		}
+		fmt.Println()
+	}
+}
+
+// sweepComposePost runs the compose-post fan-out/join scenario.
+func sweepComposePost(seconds float64, seed int64, maxQPS float64, points int) {
+	fmt.Println("Compose-post path (Figure 3): fan-out to uniqueid/urlshort/text/usertag, join, persist")
+	for _, rpu := range []bool{false, true} {
+		name := "cpu"
+		if rpu {
+			name = "rpu"
+		}
+		fmt.Printf("%s:\n  %8s %10s %10s %10s %8s\n", name, "qps", "done/s", "p99(ms)", "avg(ms)", "util")
+		for i := 1; i <= points; i++ {
+			cfg := queuesim.DefaultComposePost()
+			cfg.QPS = maxQPS * float64(i) / float64(points)
+			cfg.Seconds = seconds
+			cfg.Seed = seed
+			cfg.RPU = rpu
+			m := queuesim.RunComposePost(cfg)
+			measured := cfg.Seconds - cfg.Warmup
+			fmt.Printf("  %8.0f %10.0f %10.2f %10.2f %8.2f\n",
+				cfg.QPS, m.Throughput(measured), m.Latency.Percentile(99), m.Latency.Mean(), m.UserUtil)
+		}
+		fmt.Println()
+	}
+}

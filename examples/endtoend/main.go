@@ -1,0 +1,59 @@
+// Endtoend: a compact Figure 22 sweep — offered load vs p99/average
+// end-to-end latency for the CPU system and the RPU system with and
+// without batch splitting, using the system-level queueing simulator.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"simr"
+)
+
+func main() {
+	seconds := flag.Float64("seconds", 3, "simulated seconds per point")
+	flag.Parse()
+
+	qps := []float64{5000, 10000, 15000, 20000, 30000, 40000, 50000, 60000}
+	modes := []struct {
+		name       string
+		rpu, split bool
+	}{
+		{"cpu", false, false},
+		{"rpu w/o split", true, false},
+		{"rpu w/ split", true, true},
+	}
+
+	fmt.Printf("%-8s", "kQPS")
+	for _, m := range modes {
+		fmt.Printf(" | %-22s", m.name)
+	}
+	fmt.Println()
+	fmt.Printf("%-8s", "")
+	for range modes {
+		fmt.Printf(" | %10s %11s", "p99(ms)", "avg(ms)")
+	}
+	fmt.Println()
+
+	for _, q := range qps {
+		fmt.Printf("%-8.0f", q/1000)
+		for _, m := range modes {
+			cfg := simr.DefaultSystemConfig()
+			cfg.QPS = q
+			cfg.Seconds = *seconds
+			cfg.RPU = m.rpu
+			cfg.Split = m.split
+			res := simr.RunSystem(cfg)
+			p99, avg := res.Latency.Percentile(99), res.Latency.Mean()
+			if res.UserUtil > 0.995 {
+				fmt.Printf(" | %9.1f* %10.1f*", p99, avg)
+			} else {
+				fmt.Printf(" | %10.1f %11.1f", p99, avg)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n* = saturated (bottleneck tier pegged; latency unbounded in open loop)")
+	fmt.Println("paper: RPU w/ split sustains ~4x the CPU's peak load at comparable latency;")
+	fmt.Println("w/o split the average latency is inflated by storage-blocked reconvergence waits.")
+}

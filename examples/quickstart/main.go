@@ -1,0 +1,43 @@
+// Quickstart: run one batch of memcached GET requests through the RPU
+// and compare it with the single-threaded CPU — the smallest end-to-end
+// use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"simr"
+)
+
+func main() {
+	suite := simr.NewSuite()
+	svc := suite.Get("memc")
+
+	// Generate one hardware batch worth of requests.
+	reqs := svc.Generate(rand.New(rand.NewSource(7)), 256)
+
+	opts := simr.DefaultOptions()
+	cpu, err := simr.RunService(simr.ArchCPU, svc, reqs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rpu, err := simr.RunService(simr.ArchRPU, svc, reqs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("service: %s (%d requests)\n\n", svc.Name, len(reqs))
+	fmt.Printf("%-22s %12s %12s\n", "", "cpu", "rpu")
+	fmt.Printf("%-22s %12.2f %12.2f\n", "avg latency (us)",
+		cpu.AvgLatencySec()*1e6, rpu.AvgLatencySec()*1e6)
+	fmt.Printf("%-22s %12.0f %12.0f\n", "requests/joule",
+		cpu.ReqPerJoule(), rpu.ReqPerJoule())
+	fmt.Printf("%-22s %12s %12.1f%%\n", "SIMT efficiency", "-", 100*rpu.SIMTEff)
+	fmt.Printf("%-22s %12.0f %12.0f\n", "L1 accesses/request",
+		cpu.L1AccessesPerRequest(), rpu.L1AccessesPerRequest())
+	fmt.Printf("\nRPU: %.2fx requests/joule at %.2fx service latency\n",
+		rpu.ReqPerJoule()/cpu.ReqPerJoule(),
+		rpu.AvgLatencySec()/cpu.AvgLatencySec())
+}

@@ -1,0 +1,3 @@
+module simr
+
+go 1.22

@@ -1,0 +1,216 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentClassification(t *testing.T) {
+	g := NewGlobals()
+	ga := g.Alloc(64)
+	if !IsGlobal(ga) || IsHeap(ga) || IsStack(ga) {
+		t.Fatalf("global addr %#x misclassified", ga)
+	}
+	a := NewArena(0, PolicyCPU, 32, 8)
+	ha := a.Alloc(64)
+	if !IsHeap(ha) || IsGlobal(ha) || IsStack(ha) {
+		t.Fatalf("heap addr %#x misclassified", ha)
+	}
+	sg := NewStackGroup(0, 4, false)
+	sa := sg.StackBase(2) - 16
+	if !IsStack(sa) || IsHeap(sa) {
+		t.Fatalf("stack addr %#x misclassified", sa)
+	}
+}
+
+func TestGlobalsSequentialNonOverlap(t *testing.T) {
+	g := NewGlobals()
+	prevEnd := uint64(0)
+	for i := 0; i < 100; i++ {
+		n := 64 + i*7
+		a := g.Alloc(n)
+		if a < prevEnd {
+			t.Fatalf("allocation %d overlaps previous: %#x < %#x", i, a, prevEnd)
+		}
+		if a%64 != 0 {
+			t.Fatalf("allocation %d not 64-aligned: %#x", i, a)
+		}
+		prevEnd = a + uint64(n)
+	}
+}
+
+func TestArenaCPUPolicy(t *testing.T) {
+	a := NewArena(3, PolicyCPU, 32, 8)
+	x := a.Alloc(100)
+	y := a.Alloc(10)
+	if y < x+100 {
+		t.Fatal("overlapping CPU allocations")
+	}
+	if x%16 != 0 || y%16 != 0 {
+		t.Fatal("CPU allocations must be 16-aligned")
+	}
+}
+
+func TestArenaSIMRPolicyBankAlignment(t *testing.T) {
+	const line, banks = 32, 8
+	for tid := 0; tid < 16; tid++ {
+		a := NewArena(tid, PolicySIMR, line, banks)
+		for i := 0; i < 20; i++ {
+			addr := a.Alloc(100 + i*13)
+			wantBank := tid % banks
+			gotBank := int(addr / line % banks)
+			if gotBank != wantBank {
+				t.Fatalf("tid %d alloc %d: bank %d, want %d (addr %#x)", tid, i, gotBank, wantBank, addr)
+			}
+		}
+	}
+}
+
+func TestArenaSIMRThreadsConflictFree(t *testing.T) {
+	// Threads walking their private arrays at the same index must land
+	// on distinct banks (paper Fig 16b bottom).
+	const line, banks = 32, 8
+	bases := make([]uint64, banks)
+	for tid := 0; tid < banks; tid++ {
+		bases[tid] = NewArena(tid, PolicySIMR, line, banks).Alloc(4096)
+	}
+	for idx := 0; idx < 64; idx++ {
+		seen := map[int]bool{}
+		for tid := 0; tid < banks; tid++ {
+			b := int((bases[tid] + uint64(idx)*line) / line % banks)
+			if seen[b] {
+				t.Fatalf("bank conflict at index %d", idx)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestStackBasesContiguous(t *testing.T) {
+	sg := NewStackGroup(0, 8, false)
+	for tid := 0; tid < 7; tid++ {
+		if sg.StackBase(tid+1)-sg.StackBase(tid) != StackSize {
+			t.Fatalf("stack segments not contiguous at tid %d", tid)
+		}
+	}
+	sg2 := NewStackGroup(1, 8, false)
+	if sg2.StackBase(0) <= sg.StackBase(7) {
+		t.Fatal("batch groups overlap")
+	}
+}
+
+func TestTargetTID(t *testing.T) {
+	sg := NewStackGroup(0, 4, true)
+	for tid := 0; tid < 4; tid++ {
+		addr := sg.StackBase(tid) - 24
+		if got := sg.TargetTID(addr); got != tid {
+			t.Fatalf("TargetTID(%#x) = %d, want %d", addr, got, tid)
+		}
+	}
+	if sg.TargetTID(0x1000) != -1 {
+		t.Fatal("out-of-group addr should return -1")
+	}
+}
+
+func TestTranslateIdentityWithoutInterleave(t *testing.T) {
+	sg := NewStackGroup(0, 4, false)
+	addr := sg.StackBase(1) - 64
+	phys := sg.Translate(addr, 8)
+	if len(phys) != 1 || phys[0] != addr {
+		t.Fatalf("identity translate failed: %v", phys)
+	}
+}
+
+func TestTranslateInterleavePattern(t *testing.T) {
+	const bs = 32
+	sg := NewStackGroup(0, bs, true)
+	// All threads at the same stack offset: their 8-byte accesses must
+	// become physically contiguous word pairs: 8B × 32 threads → 256
+	// contiguous bytes = 8 lines of 32B (the paper's push example).
+	lines := map[uint64]bool{}
+	for tid := 0; tid < bs; tid++ {
+		addr := sg.StackBase(tid) - 8
+		for _, p := range sg.Translate(addr, 8) {
+			lines[p&^uint64(31)] = true
+		}
+	}
+	if len(lines) != 8 {
+		t.Fatalf("32 interleaved 8B pushes span %d lines, want 8", len(lines))
+	}
+}
+
+func TestTranslateGranuleCount(t *testing.T) {
+	sg := NewStackGroup(0, 4, true)
+	addr := sg.StackBase(0) - 16
+	if got := len(sg.Translate(addr, 8)); got != 2 {
+		t.Fatalf("8B access spans %d granules, want 2", got)
+	}
+	if got := len(sg.Translate(addr, 4)); got != 1 {
+		t.Fatalf("4B access spans %d granules, want 1", got)
+	}
+}
+
+// Property: interleaved translation is injective — distinct (tid,
+// offset) granules map to distinct physical granules.
+func TestQuickTranslateInjective(t *testing.T) {
+	sg := NewStackGroup(0, 8, true)
+	f := func(tidA, tidB uint8, offA, offB uint16) bool {
+		ta, tb := int(tidA%8), int(tidB%8)
+		oa := uint64(offA%4096)&^3 + 8
+		ob := uint64(offB%4096)&^3 + 8
+		pa := sg.Translate(sg.StackBase(ta)-oa, 4)[0]
+		pb := sg.Translate(sg.StackBase(tb)-ob, 4)[0]
+		same := ta == tb && oa == ob
+		return (pa == pb) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arena exhaustion")
+		}
+	}()
+	a := NewArena(0, PolicyCPU, 32, 8)
+	a.Alloc(int(ArenaSize) + 1)
+}
+
+func TestWastedTracking(t *testing.T) {
+	a := NewArena(5, PolicySIMR, 32, 8)
+	a.Alloc(10)
+	a.Alloc(10)
+	if a.Wasted == 0 {
+		t.Fatal("SIMR alignment should record padding waste")
+	}
+	if a.Used() == 0 {
+		t.Fatal("used bytes not tracked")
+	}
+}
+
+func TestCheckAccessPolicy(t *testing.T) {
+	sg := NewStackGroup(0, 4, true)
+	own := sg.StackBase(1) - 32
+	other := sg.StackBase(2) - 32
+
+	if err := sg.CheckAccess(own, 1, false); err != nil {
+		t.Fatalf("own-segment access rejected: %v", err)
+	}
+	err := sg.CheckAccess(other, 1, false)
+	if err == nil {
+		t.Fatal("cross-thread access allowed without permission")
+	}
+	av, ok := err.(*AccessViolation)
+	if !ok || av.Accessor != 1 || av.TargetTID != 2 {
+		t.Fatalf("violation details wrong: %v", err)
+	}
+	if sg.CheckAccess(other, 1, true) != nil {
+		t.Fatal("permitted cross-thread access rejected")
+	}
+	// Heap addresses are not the AGU's business.
+	if sg.CheckAccess(HeapBase+64, 1, false) != nil {
+		t.Fatal("non-stack address rejected")
+	}
+}

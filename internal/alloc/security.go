@@ -1,0 +1,33 @@
+package alloc
+
+import "fmt"
+
+// AccessViolation is the AGU exception of paper §VI-C: a thread touched
+// another thread's stack segment without permission. Because a batch's
+// stack segments are physically adjacent (and interleaved), the
+// address generation unit must police inter-thread stack references
+// that ordinary CPU virtual memory would have allowed to fault
+// naturally.
+type AccessViolation struct {
+	Accessor  int
+	TargetTID int
+	Virt      uint64
+}
+
+func (e *AccessViolation) Error() string {
+	return fmt.Sprintf("alloc: thread %d accessed thread %d's stack at %#x without permission",
+		e.Accessor, e.TargetTID, e.Virt)
+}
+
+// CheckAccess validates a stack access by thread tid against the
+// group's sharing policy: the paper's AGU computes
+// TargetTID = (SSi-SS0)/StackSize and raises an exception when the
+// access crosses threads and sharing is not permitted. Non-stack
+// addresses and own-segment accesses always pass.
+func (g *StackGroup) CheckAccess(virt uint64, tid int, allowCross bool) error {
+	target := g.TargetTID(virt)
+	if target < 0 || target == tid || allowCross {
+		return nil
+	}
+	return &AccessViolation{Accessor: tid, TargetTID: target, Virt: virt}
+}

@@ -1,0 +1,38 @@
+package batch
+
+import (
+	"testing"
+
+	"simr/internal/uservices"
+)
+
+// FuzzForm checks request conservation and batch bounds for arbitrary
+// API/size mixes under every policy.
+func FuzzForm(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, uint8(32))
+	f.Add([]byte{0}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, size uint8) {
+		sz := int(size%64) + 1
+		reqs := make([]uservices.Request, len(raw))
+		for i, b := range raw {
+			reqs[i] = uservices.Request{
+				API:      string(rune('a' + b%5)),
+				ArgBytes: int(b)*3 + 1,
+				Seed:     int64(i),
+			}
+		}
+		for _, p := range Policies {
+			bs := Form(reqs, sz, p)
+			n := 0
+			for _, b := range bs {
+				if len(b.Requests) == 0 || len(b.Requests) > sz {
+					t.Fatalf("policy %v: batch size %d of max %d", p, len(b.Requests), sz)
+				}
+				n += len(b.Requests)
+			}
+			if n != len(reqs) {
+				t.Fatalf("policy %v lost requests: %d vs %d", p, n, len(reqs))
+			}
+		}
+	})
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+
+	"simr/internal/alloc"
+	"simr/internal/batch"
+	"simr/internal/energy"
+	"simr/internal/isa"
+	"simr/internal/mem"
+	"simr/internal/pipeline"
+	"simr/internal/simt"
+	"simr/internal/stats"
+	"simr/internal/uservices"
+)
+
+// Options tunes an RPU/GPU run; the zero value (after Defaults) is the
+// paper's baseline configuration.
+type Options struct {
+	// BatchSize overrides the service's tuned batch size (0 = tuned).
+	BatchSize int
+	// Policy is the batching-server grouping policy.
+	Policy batch.Policy
+	// AllocPolicy selects the heap allocator.
+	AllocPolicy alloc.Policy
+	// Lanes overrides the SIMT lane count (0 = config default).
+	Lanes int
+	// StackInterleave applies the 4-byte stack physical interleave.
+	StackInterleave bool
+	// MajorityVote enables per-batch majority-voted prediction.
+	MajorityVote bool
+	// AtomicsAtL3 routes atomics to the shared L3.
+	AtomicsAtL3 bool
+	// UseIPDOM selects the ideal stack-based reconvergence scheme
+	// instead of MinSP-PC.
+	UseIPDOM bool
+	// Spin enables the livelock mitigation.
+	Spin *simt.SpinConfig
+	// CPUPrefetch attaches a next-line prefetcher to the scalar CPU's
+	// L1 (Table III ablation: prefetchers are ineffective on
+	// microservice heaps).
+	CPUPrefetch bool
+}
+
+// DefaultOptions is the paper's baseline RPU configuration.
+func DefaultOptions() Options {
+	return Options{
+		Policy:          batch.PerAPIArgSize,
+		AllocPolicy:     alloc.PolicySIMR,
+		StackInterleave: true,
+		MajorityVote:    true,
+		AtomicsAtL3:     true,
+		Spin:            &simt.DefaultSpin,
+	}
+}
+
+// Result is one (architecture, service) chip-level measurement.
+type Result struct {
+	Arch     Arch
+	Service  string
+	Requests int
+	Batches  int
+	// Stats aggregates the pipeline counters over all runs; Stats.Mem
+	// is the final cumulative memory snapshot.
+	Stats pipeline.Stats
+	// Energy is the total energy over all requests.
+	Energy energy.Breakdown
+	// Latency samples one service latency per request, in cycles.
+	Latency *stats.Sample
+	// SIMTEff is the weighted SIMT control efficiency (1 for scalar).
+	SIMTEff float64
+	// FreqGHz converts cycles to seconds.
+	FreqGHz float64
+}
+
+// AvgLatencySec returns the mean per-request service latency.
+func (r *Result) AvgLatencySec() float64 {
+	return r.Latency.Mean() / (r.FreqGHz * 1e9)
+}
+
+// ReqPerJoule returns the headline energy-efficiency metric.
+func (r *Result) ReqPerJoule() float64 {
+	j := r.Energy.Total()
+	if j == 0 {
+		return 0
+	}
+	return float64(r.Requests) / j
+}
+
+// L1AccessesPerRequest returns L1 data accesses per request.
+func (r *Result) L1AccessesPerRequest() float64 {
+	return stats.Ratio(float64(r.Stats.Mem.L1.Accesses), float64(r.Requests))
+}
+
+// L1MPKI returns L1 misses per thousand scalar instructions.
+func (r *Result) L1MPKI() float64 {
+	return r.Stats.Mem.L1.MPKI(r.Stats.ScalarOps)
+}
+
+// scalarUops converts a scalar trace into pipeline uops with identity
+// address translation (no interleaving, no coalescing).
+func scalarUops(trace []isa.TraceOp, thread int) []pipeline.Uop {
+	uops := make([]pipeline.Uop, len(trace))
+	for i := range trace {
+		op := &trace[i]
+		u := pipeline.Uop{
+			PC:          op.PC,
+			Class:       op.Class,
+			Dep1:        op.Dep1,
+			Dep2:        op.Dep2,
+			ActiveLanes: 1,
+			Taken:       op.Taken,
+			Thread:      thread,
+		}
+		if op.Class.IsMem() {
+			u.Accesses = []uint64{op.Addr}
+		}
+		uops[i] = u
+	}
+	return uops
+}
+
+// batchUops converts the lock-step batch stream into pipeline uops:
+// stack addresses are physically interleaved via the batch's stack
+// group (when enabled) and every memory instruction passes through the
+// MCU coalescer.
+func batchUops(ops []simt.BatchOp, sg *alloc.StackGroup, interleave bool, mcu *mem.MCUStats) []pipeline.Uop {
+	uops := make([]pipeline.Uop, len(ops))
+	lanes := make([][]uint64, 0, 64)
+	for i := range ops {
+		op := &ops[i]
+		u := pipeline.Uop{
+			PC:          op.PC,
+			Class:       op.Class,
+			Dep1:        op.Dep1,
+			Dep2:        op.Dep2,
+			ActiveLanes: op.ActiveLanes(),
+			Mask:        op.Mask,
+			TakenMask:   op.TakenMask,
+		}
+		if op.Class.IsMem() {
+			lanes = lanes[:0]
+			for t := range op.Addrs {
+				if op.Mask&(1<<uint(t)) == 0 {
+					continue
+				}
+				a := op.Addrs[t]
+				if interleave && alloc.IsStack(a) {
+					lanes = append(lanes, sg.Translate(a, int(op.Size)))
+				} else {
+					lanes = append(lanes, granules(a, int(op.Size)))
+				}
+			}
+			u.Accesses, _ = mem.Coalesce(lanes, lineBytes, mcu)
+		}
+		uops[i] = u
+	}
+	return uops
+}
+
+// granules expands one lane's access into the 4-byte words it touches
+// so the MCU sees the full footprint (an 8-byte access from every lane
+// covers a contiguous region even though lane start addresses are 8
+// bytes apart).
+func granules(addr uint64, size int) []uint64 {
+	if size <= 4 {
+		return []uint64{addr}
+	}
+	first := addr &^ 3
+	last := (addr + uint64(size) - 1) &^ 3
+	out := make([]uint64, 0, (last-first)/4+1)
+	for a := first; a <= last; a += 4 {
+		out = append(out, a)
+	}
+	return out
+}
+
+// RunService executes the requests on one core of the architecture and
+// returns the aggregated measurement. CPU runs the requests
+// sequentially; SMT-8 runs them in groups of 8; RPU/GPU batch them via
+// the SIMR-aware server and run them in lock-step.
+func RunService(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts Options) (*Result, error) {
+	switch arch {
+	case ArchCPU:
+		return runScalar(arch, svc, reqs, opts)
+	case ArchSMT8:
+		return runSMT(arch, svc, reqs)
+	case ArchRPU, ArchGPU:
+		return runBatched(arch, svc, reqs, opts)
+	default:
+		return nil, fmt.Errorf("core: invalid arch %v", arch)
+	}
+}
+
+func newResult(arch Arch, svc *uservices.Service, n int) *Result {
+	return &Result{
+		Arch:     arch,
+		Service:  svc.Name,
+		Requests: n,
+		Latency:  stats.NewSample(n),
+		SIMTEff:  1,
+		FreqGHz:  PipelineConfig(arch).FreqGHz,
+	}
+}
+
+// runScalar models the single-threaded CPU: one worker thread serves
+// requests back to back on a warm core, reusing its stack (which is why
+// consecutive CPU threads enjoy prefetched shared data, paper §V-A).
+func runScalar(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts Options) (*Result, error) {
+	cfg := PipelineConfig(arch)
+	ms := mem.NewSystem(MemConfig(arch))
+	if opts.CPUPrefetch {
+		ms.PF = mem.NewPrefetcher(2)
+	}
+	cpu := pipeline.NewCore(cfg)
+	res := newResult(arch, svc, len(reqs))
+	model := EnergyModel(arch)
+
+	sg := alloc.NewStackGroup(0, 1, false)
+	for i := range reqs {
+		arena := alloc.NewArena(0, alloc.PolicyCPU, lineBytes, 1)
+		trace, err := svc.Trace(&reqs[i], 0, sg.StackBase(0), arena)
+		if err != nil {
+			return nil, err
+		}
+		ms.ResetTiming()
+		st := cpu.Run(ms, scalarUops(trace, 0))
+		res.Stats.Accumulate(&st)
+		res.Latency.Add(float64(st.Cycles))
+	}
+	res.Stats.Mem = ms.Stats()
+	res.Energy = model.Compute(&res.Stats, cfg.FreqGHz)
+	return res, nil
+}
+
+// runSMT models the SMT-8 CPU: 8 worker threads dispatch round-robin
+// through a shared frontend with per-thread ROB partitions and a shared
+// banked L1.
+func runSMT(arch Arch, svc *uservices.Service, reqs []uservices.Request) (*Result, error) {
+	cfg := PipelineConfig(arch)
+	ms := mem.NewSystem(MemConfig(arch))
+	cpu := pipeline.NewCore(cfg)
+	res := newResult(arch, svc, len(reqs))
+	model := EnergyModel(arch)
+
+	const ways = 8
+	sg := alloc.NewStackGroup(0, ways, false)
+	for off := 0; off < len(reqs); off += ways {
+		end := off + ways
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		group := reqs[off:end]
+		streams := make([][]pipeline.Uop, len(group))
+		for t := range group {
+			arena := alloc.NewArena(t, alloc.PolicyCPU, lineBytes, 1)
+			trace, err := svc.Trace(&group[t], t, sg.StackBase(t), arena)
+			if err != nil {
+				return nil, err
+			}
+			streams[t] = scalarUops(trace, t)
+		}
+		merged := mergeSMT(streams)
+		ms.ResetTiming()
+		st := cpu.Run(ms, merged)
+		res.Stats.Accumulate(&st)
+		for range group {
+			res.Latency.Add(float64(st.Cycles))
+		}
+	}
+	res.Stats.Mem = ms.Stats()
+	res.Energy = model.Compute(&res.Stats, cfg.FreqGHz)
+	return res, nil
+}
+
+// mergeSMT interleaves per-thread uop streams round-robin and remaps
+// dependency indices into the merged stream.
+func mergeSMT(streams [][]pipeline.Uop) []pipeline.Uop {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	merged := make([]pipeline.Uop, 0, total)
+	remap := make([][]int32, len(streams))
+	cursor := make([]int, len(streams))
+	for t, s := range streams {
+		remap[t] = make([]int32, len(s))
+	}
+	for len(merged) < total {
+		for t, s := range streams {
+			if cursor[t] >= len(s) {
+				continue
+			}
+			u := s[cursor[t]]
+			if u.Dep1 >= 0 {
+				u.Dep1 = remap[t][u.Dep1]
+			}
+			if u.Dep2 >= 0 {
+				u.Dep2 = remap[t][u.Dep2]
+			}
+			remap[t][cursor[t]] = int32(len(merged))
+			cursor[t]++
+			merged = append(merged, u)
+		}
+	}
+	return merged
+}
+
+// runBatched models the RPU (and GPU): the SIMR-aware server forms
+// batches, the driver lays out contiguous stacks and SIMR-aware heap
+// arenas, the SIMT engine lock-steps the traces and the OoO-SIMT core
+// executes the merged stream.
+func runBatched(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts Options) (*Result, error) {
+	cfgP := PipelineConfig(arch)
+	cfgM := MemConfig(arch)
+	if opts.Lanes > 0 {
+		cfgP.Lanes = opts.Lanes
+	}
+	cfgP.MajorityVote = opts.MajorityVote
+	cfgM.AtomicsAtL3 = opts.AtomicsAtL3
+	size := opts.BatchSize
+	if size <= 0 {
+		size = svc.TunedBatch
+	}
+
+	ms := mem.NewSystem(cfgM)
+	rpu := pipeline.NewCore(cfgP)
+	res := newResult(arch, svc, len(reqs))
+	model := EnergyModel(arch)
+	reconv := svc.BranchReconv()
+
+	batches := batch.Form(reqs, size, opts.Policy)
+	res.Batches = len(batches)
+
+	totalScalar, totalBatchOps := 0, 0
+	for _, b := range batches {
+		sg := alloc.NewStackGroup(0, len(b.Requests), opts.StackInterleave)
+		traces, err := svc.TraceBatch(b.Requests, sg, opts.AllocPolicy, lineBytes, cfgM.L1.Banks)
+		if err != nil {
+			return nil, err
+		}
+		var merged *simt.Result
+		if opts.UseIPDOM {
+			merged, err = simt.RunIPDOM(traces, size, reconv)
+		} else {
+			merged, err = simt.RunMinSPPC(traces, size, opts.Spin)
+		}
+		if err != nil {
+			return nil, err
+		}
+		totalScalar += merged.ScalarOps
+		totalBatchOps += len(merged.Ops)
+
+		uops := batchUops(merged.Ops, sg, opts.StackInterleave, &ms.MCU)
+		ms.ResetTiming()
+		st := rpu.Run(ms, uops)
+		res.Stats.Accumulate(&st)
+		for range b.Requests {
+			res.Latency.Add(float64(st.Cycles))
+		}
+	}
+	if totalBatchOps > 0 {
+		res.SIMTEff = float64(totalScalar) / (float64(totalBatchOps) * float64(size))
+	}
+	res.Stats.Mem = ms.Stats()
+	res.Energy = model.Compute(&res.Stats, cfgP.FreqGHz)
+	return res, nil
+}

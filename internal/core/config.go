@@ -1,0 +1,190 @@
+// Package core is the SIMR system driver — the paper's primary
+// contribution assembled from the substrates: it holds the Table IV
+// hardware configurations, turns request streams into batches, traces
+// them, lock-steps them through the SIMT engine, feeds the merged
+// stream through the cycle-level pipeline and memory models and
+// accounts energy, producing the chip-level results of Figures 10-21.
+package core
+
+import (
+	"simr/internal/energy"
+	"simr/internal/mem"
+	"simr/internal/pipeline"
+)
+
+// Arch selects a hardware design point (Table IV column).
+type Arch uint8
+
+// Architectures under study.
+const (
+	// ArchCPU is the single-threaded OoO x86-class core.
+	ArchCPU Arch = iota
+	// ArchSMT8 is the same core with 8-way simultaneous multithreading.
+	ArchSMT8
+	// ArchRPU is the OoO-SIMT Request Processing Unit.
+	ArchRPU
+	// ArchGPU is an Ampere-like in-order SIMT core.
+	ArchGPU
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchCPU:
+		return "cpu"
+	case ArchSMT8:
+		return "cpu-smt8"
+	case ArchRPU:
+		return "rpu"
+	case ArchGPU:
+		return "gpu"
+	default:
+		return "invalid"
+	}
+}
+
+// Cores returns the chip's core count for the architecture (Table IV).
+func (a Arch) Cores() int {
+	switch a {
+	case ArchCPU:
+		return 98
+	case ArchSMT8:
+		return 80
+	case ArchRPU:
+		return 20
+	default:
+		return 20
+	}
+}
+
+// ThreadsPerCore returns the hardware thread count per core.
+func (a Arch) ThreadsPerCore() int {
+	switch a {
+	case ArchCPU:
+		return 1
+	case ArchSMT8:
+		return 8
+	default:
+		return 32
+	}
+}
+
+// PipelineConfig returns the Table IV pipeline parameters.
+func PipelineConfig(a Arch) pipeline.Config {
+	switch a {
+	case ArchCPU:
+		return pipeline.Config{
+			Name:       "cpu",
+			FetchWidth: 8, IssueWidth: 8, RetireWidth: 8,
+			ROB:     256,
+			Lanes:   1,
+			IALULat: 1, FALULat: 3, SimdLat: 3, BranchLat: 1, SyscallLat: 50,
+			RedirectPenalty: 12,
+			FreqGHz:         2.5,
+		}
+	case ArchSMT8:
+		cfg := PipelineConfig(ArchCPU)
+		cfg.Name = "cpu-smt8"
+		cfg.ROBPerThread = 32
+		return cfg
+	case ArchRPU:
+		return pipeline.Config{
+			Name:       "rpu",
+			FetchWidth: 8, IssueWidth: 8, RetireWidth: 8,
+			ROB:     256,
+			Lanes:   8, // sub-batch interleaving over 8 SIMT lanes
+			IALULat: 4, FALULat: 6, SimdLat: 6, BranchLat: 4, SyscallLat: 50,
+			RedirectPenalty: 16, // 14-18 stage pipe
+			MajorityVote:    true,
+			FreqGHz:         2.5,
+		}
+	case ArchGPU:
+		return pipeline.Config{
+			Name:       "gpu",
+			FetchWidth: 2, IssueWidth: 1, RetireWidth: 2,
+			ROB:   64,
+			Lanes: 32,
+			// SyscallLat models the CPU round trip GPUs need for I/O
+			// (GPUfs/GPUnet-style coordination), the dominant term in
+			// the paper's 79x GPU service-latency gap.
+			IALULat: 4, FALULat: 6, SimdLat: 6, BranchLat: 8, SyscallLat: 6000,
+			InOrder:       true,
+			NoSpeculation: true,
+			FreqGHz:       1.4,
+		}
+	default:
+		panic("core: invalid arch")
+	}
+}
+
+// lineBytes is the cache line size used throughout (Table IV:
+// 32 B/cycle/thread L1 bandwidth at 32-byte lines).
+const lineBytes = 32
+
+// MemConfig returns the Table IV memory hierarchy for one core of the
+// architecture. L3 is the per-core slice of the shared 32 MB cache;
+// DRAM bandwidth is threads/core × the per-thread share (2 GB/s CPU,
+// 0.9 GB/s SMT/RPU) expressed in bytes per core cycle.
+func MemConfig(a Arch) mem.SysConfig {
+	switch a {
+	case ArchCPU:
+		return mem.SysConfig{
+			L1:                mem.CacheConfig{Name: "L1D", SizeBytes: 64 << 10, Ways: 8, LineBytes: lineBytes, Banks: 1, LatCycles: 3, BytesPerCycle: 32},
+			TLB:               mem.TLBConfig{EntriesPerBank: 48, Banks: 1, MissLatCycles: 40, PageBytes: 2 << 20},
+			L2:                mem.CacheConfig{Name: "L2", SizeBytes: 512 << 10, Ways: 8, LineBytes: lineBytes, Banks: 1, LatCycles: 12},
+			L3:                mem.CacheConfig{Name: "L3slice", SizeBytes: 336 << 10, Ways: 16, LineBytes: lineBytes, Banks: 2, LatCycles: 36},
+			ICLatCycles:       12, // 9x9 mesh average hops
+			DRAMLatCycles:     160,
+			DRAMBytesPerCycle: 16, // channel burst bandwidth seen by one core
+		}
+	case ArchSMT8:
+		return mem.SysConfig{
+			L1:                mem.CacheConfig{Name: "L1D", SizeBytes: 64 << 10, Ways: 8, LineBytes: lineBytes, Banks: 8, LatCycles: 3, BytesPerCycle: 256},
+			TLB:               mem.TLBConfig{EntriesPerBank: 64, Banks: 1, MissLatCycles: 40, PageBytes: 2 << 20},
+			L2:                mem.CacheConfig{Name: "L2", SizeBytes: 512 << 10, Ways: 8, LineBytes: lineBytes, Banks: 1, LatCycles: 12},
+			L3:                mem.CacheConfig{Name: "L3slice", SizeBytes: 400 << 10, Ways: 16, LineBytes: lineBytes, Banks: 2, LatCycles: 36},
+			ICLatCycles:       14, // 11x11 mesh
+			DRAMLatCycles:     160,
+			DRAMBytesPerCycle: 16,
+		}
+	case ArchRPU:
+		return mem.SysConfig{
+			L1:                mem.CacheConfig{Name: "L1D", SizeBytes: 256 << 10, Ways: 8, LineBytes: lineBytes, Banks: 8, LatCycles: 8, BytesPerCycle: 256},
+			TLB:               mem.TLBConfig{EntriesPerBank: 32, Banks: 8, MissLatCycles: 40, PageBytes: 2 << 20},
+			L2:                mem.CacheConfig{Name: "L2", SizeBytes: 2 << 20, Ways: 8, LineBytes: lineBytes, Banks: 2, LatCycles: 20},
+			L3:                mem.CacheConfig{Name: "L3slice", SizeBytes: 1638 << 10, Ways: 16, LineBytes: lineBytes, Banks: 4, LatCycles: 36},
+			ICLatCycles:       4, // single-hop 20x20 crossbar
+			DRAMLatCycles:     160,
+			DRAMBytesPerCycle: 32, // wider DDR5-7200 provisioning (Table IV)
+			AtomicsAtL3:       true,
+		}
+	case ArchGPU:
+		return mem.SysConfig{
+			L1:                mem.CacheConfig{Name: "L1D", SizeBytes: 128 << 10, Ways: 8, LineBytes: lineBytes, Banks: 8, LatCycles: 24, BytesPerCycle: 256},
+			TLB:               mem.TLBConfig{EntriesPerBank: 32, Banks: 8, MissLatCycles: 80, PageBytes: 2 << 20},
+			L2:                mem.CacheConfig{Name: "L2", SizeBytes: 4 << 20, Ways: 16, LineBytes: lineBytes, Banks: 4, LatCycles: 90},
+			L3:                mem.CacheConfig{Name: "L3slice", SizeBytes: 1 << 20, Ways: 16, LineBytes: lineBytes, Banks: 4, LatCycles: 120},
+			ICLatCycles:       8,
+			DRAMLatCycles:     220,
+			DRAMBytesPerCycle: 64,
+			AtomicsAtL3:       true,
+		}
+	default:
+		panic("core: invalid arch")
+	}
+}
+
+// EnergyModel returns the per-event energy model for the architecture.
+func EnergyModel(a Arch) *energy.Model {
+	switch a {
+	case ArchCPU:
+		return energy.CPUModel()
+	case ArchSMT8:
+		return energy.SMTModel()
+	case ArchRPU:
+		return energy.RPUModel()
+	case ArchGPU:
+		return energy.GPUModel()
+	default:
+		panic("core: invalid arch")
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"simr/internal/stats"
+	"simr/internal/uservices"
+)
+
+// TestProbe prints a compact calibration table; opt-in verbose tool.
+func TestProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	suite := uservices.NewSuite()
+	var rpuLat, rpuRPJ, smtLat, l1x, effs []float64
+	for _, svc := range suite.Services {
+		r := rand.New(rand.NewSource(42))
+		reqs := svc.Generate(r, 320)
+		opts := DefaultOptions()
+		cpu, err := RunService(ArchCPU, svc, reqs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smt, err := RunService(ArchSMT8, svc, reqs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rpu, err := RunService(ArchRPU, svc, reqs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl := rpu.Latency.Mean() / cpu.Latency.Mean()
+		rj := rpu.ReqPerJoule() / cpu.ReqPerJoule()
+		lx := rpu.L1AccessesPerRequest() / cpu.L1AccessesPerRequest()
+		rpuLat = append(rpuLat, rl)
+		rpuRPJ = append(rpuRPJ, rj)
+		smtLat = append(smtLat, smt.Latency.Mean()/cpu.Latency.Mean())
+		l1x = append(l1x, lx)
+		effs = append(effs, rpu.SIMTEff)
+		fmt.Printf("%-16s cpu[ipc=%.2f] rpu[lat=%.2fx rpj=%.2fx eff=%.2f l1=%.2fx]\n",
+			svc.Name, cpu.Stats.IPC(), rl, rj, rpu.SIMTEff, lx)
+	}
+	fmt.Printf("AVG: lat=%.2fx rpj=%.2fx eff=%.2f l1=%.2fx smtlat=%.1fx\n",
+		mean2(rpuLat), stats.GeoMean(rpuRPJ), mean2(effs), mean2(l1x), mean2(smtLat))
+}
+
+func mean2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

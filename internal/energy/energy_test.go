@@ -1,0 +1,158 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"simr/internal/isa"
+	"simr/internal/pipeline"
+)
+
+func mkStats(uops, scalar uint64) *pipeline.Stats {
+	st := &pipeline.Stats{Cycles: 1000, Uops: uops, ScalarOps: scalar}
+	st.UopsByClass[isa.IAlu] = uops
+	st.LaneOpsByClass[isa.IAlu] = scalar
+	return st
+}
+
+func TestFrontendAmortization(t *testing.T) {
+	m := RPUModel()
+	// Same scalar work, once as 32-wide batch ops, once scalar.
+	batch := m.Compute(mkStats(100, 3200), 2.5)
+	scalar := m.Compute(mkStats(3200, 3200), 2.5)
+	if batch.FrontendOoO >= scalar.FrontendOoO/20 {
+		t.Fatalf("frontend not amortized: batch %.3g vs scalar %.3g", batch.FrontendOoO, scalar.FrontendOoO)
+	}
+	// Execution energy is per lane and must be identical.
+	if math.Abs(batch.Exec-scalar.Exec) > 1e-15 {
+		t.Fatalf("exec energy differs: %g vs %g", batch.Exec, scalar.Exec)
+	}
+}
+
+func TestStaticScalesWithTime(t *testing.T) {
+	m := CPUModel()
+	a := m.Compute(&pipeline.Stats{Cycles: 1000}, 2.5)
+	b := m.Compute(&pipeline.Stats{Cycles: 2000}, 2.5)
+	if math.Abs(b.Static/a.Static-2) > 1e-9 {
+		t.Fatalf("static not linear in time: %g vs %g", a.Static, b.Static)
+	}
+}
+
+func TestCPUFrontendShareMatchesFig10(t *testing.T) {
+	// A scalar-integer instruction mix (30% memory ops hitting L1)
+	// should put the frontend+OoO share in the paper's 60-80% band.
+	m := CPUModel()
+	st := mkStats(1000, 1000)
+	st.UopsByClass[isa.Load] = 300
+	st.LaneOpsByClass[isa.Load] = 300
+	st.Mem.L1.Accesses = 300
+	st.Mem.TLB.Accesses = 300
+	st.Branches = 150
+	b := m.Compute(st, 2.5)
+	share := b.FrontendOoO / b.Dynamic()
+	if share < 0.55 || share > 0.85 {
+		t.Fatalf("frontend share %.2f outside Fig 10 band", share)
+	}
+}
+
+func TestRPUSIMTOverheadsCharged(t *testing.T) {
+	m := RPUModel()
+	if m.VotingPJ == 0 || m.OptimizerPJ == 0 || m.ActiveMaskPJ == 0 || m.MCUPJ == 0 || m.L1XbarPJ == 0 {
+		t.Fatal("RPU SIMT overhead constants must be non-zero")
+	}
+	if m.L1PJ <= CPUModel().L1PJ*1.5 {
+		t.Fatal("RPU L1 access energy should be ~1.72x CPU's")
+	}
+	if m.L2PJ <= CPUModel().L2PJ*1.5 {
+		t.Fatal("RPU L2 access energy should be ~1.82x CPU's")
+	}
+}
+
+func TestSMTModelCostsMore(t *testing.T) {
+	c, s := CPUModel(), SMTModel()
+	if s.OoOPJ <= c.OoOPJ || s.StaticWatts <= c.StaticWatts {
+		t.Fatal("SMT-8 core must cost more than the single-threaded core")
+	}
+}
+
+func TestBreakdownAddTotal(t *testing.T) {
+	a := Breakdown{FrontendOoO: 1, Exec: 2, Memory: 3, Static: 4}
+	b := a.Add(a)
+	if b.Total() != 20 || a.Total() != 10 || a.Dynamic() != 6 {
+		t.Fatalf("breakdown arithmetic wrong: %+v", b)
+	}
+}
+
+func TestTableVRatios(t *testing.T) {
+	ca, ra, cw, rw := CoreTotals()
+	if r := ra / ca; r < 6.0 || r > 6.7 {
+		t.Fatalf("RPU core area ratio %.2f, paper says 6.3x", r)
+	}
+	if r := rw / cw; r < 4.2 || r > 4.8 {
+		t.Fatalf("RPU core power ratio %.2f, paper says 4.5x", r)
+	}
+	dc, dr := ThreadDensity()
+	if r := dr / dc; r < 4.5 || r > 6.0 {
+		t.Fatalf("thread density ratio %.2f, paper says 5.2x", r)
+	}
+}
+
+func TestTableVChipTotals(t *testing.T) {
+	ca, ra, cw, rw := ChipTotals()
+	// Paper Table V: 141 vs 173.9 mm2, 338.1 vs 304.2 W.
+	if math.Abs(ca-141) > 2 || math.Abs(ra-173.9) > 2 {
+		t.Fatalf("chip areas %f %f", ca, ra)
+	}
+	if math.Abs(cw-338.1) > 2 || math.Abs(rw-304.2) > 2 {
+		t.Fatalf("chip powers %f %f", cw, rw)
+	}
+}
+
+func TestWriteTableV(t *testing.T) {
+	var sb strings.Builder
+	WriteTableV(&sb)
+	out := sb.String()
+	for _, want := range []string{"Fetch&Decode", "L1-Xbar", "Total Chip", "Thread density"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q", want)
+		}
+	}
+}
+
+func TestGPUModelShape(t *testing.T) {
+	g := GPUModel()
+	if g.OoOPJ != 0 || g.BranchPredPJ != 0 {
+		t.Fatal("GPU has no OoO structures or branch predictor")
+	}
+	if g.ExecScale <= 0 || g.ExecScale >= 1 {
+		t.Fatalf("GPU exec scale %v", g.ExecScale)
+	}
+}
+
+// TestComputeAdditive: energy over a combined stat equals the sum of
+// the parts (linearity of the per-event model).
+func TestComputeAdditive(t *testing.T) {
+	m := CPUModel()
+	a := mkStats(100, 100)
+	b := mkStats(250, 250)
+	var sum pipeline.Stats
+	sum.Accumulate(a)
+	sum.Accumulate(b)
+	ea := m.Compute(a, 2.5)
+	eb := m.Compute(b, 2.5)
+	es := m.Compute(&sum, 2.5)
+	if math.Abs(es.Total()-(ea.Total()+eb.Total())) > 1e-15 {
+		t.Fatalf("energy not additive: %g vs %g", es.Total(), ea.Total()+eb.Total())
+	}
+}
+
+func TestFlushedLanesCostFrontendEnergy(t *testing.T) {
+	m := RPUModel()
+	a := mkStats(100, 3200)
+	b := mkStats(100, 3200)
+	b.FlushedLanes = 500
+	if m.Compute(b, 2.5).FrontendOoO <= m.Compute(a, 2.5).FrontendOoO {
+		t.Fatal("flushed lanes should add frontend energy")
+	}
+}

@@ -1,0 +1,253 @@
+// Package energy implements the McPAT/GPUWattch-style accounting the
+// paper uses: per-event dynamic energies multiplied by the pipeline and
+// memory-system event counts, plus static power integrated over the
+// run. All constants are documented model parameters calibrated so the
+// single-threaded CPU reproduces the paper's Figure 10 breakdown
+// (≈73 % frontend+OoO on scalar-integer services) and Table V
+// peak-power proportions; the RPU/GPU results in Figures 19/20 are
+// then *measured* outputs of the simulation, not inputs.
+package energy
+
+import (
+	"simr/internal/isa"
+	"simr/internal/pipeline"
+)
+
+// Model holds per-event dynamic energies in picojoules and the core's
+// static power in watts.
+type Model struct {
+	Name string
+
+	// Frontend + OoO, charged once per frontend instruction (per batch
+	// instruction on the RPU — the heart of the SIMR energy claim).
+	FetchDecodePJ float64
+	BranchPredPJ  float64 // per branch
+	OoOPJ         float64 // rename, reservation stations, ROB, CAM wakeup
+	// RPU-only SIMT management overheads.
+	VotingPJ     float64 // majority voting per branch
+	OptimizerPJ  float64 // SIMT convergence optimizer per instruction
+	ActiveMaskPJ float64 // AM propagation per instruction
+
+	// Execution, charged per active lane.
+	RegFilePJ float64 // operand read+write per lane op
+	ExecPJ    [isa.NumClasses]float64
+
+	// Memory system.
+	LSQPJ       float64 // per memory instruction (one row per batch op)
+	LSQLanePJ   float64 // per additional active lane (CAM per lane)
+	MCUPJ       float64 // coalescer lookup per memory instruction
+	L1PJ        float64 // per L1 access
+	L1XbarPJ    float64 // RPU LSQ→bank crossbar per access
+	TLBPJ       float64 // per translation
+	TLBMissPJ   float64 // per page walk
+	L2PJ        float64 // per L2 access
+	L3PJ        float64 // per L3 access
+	DRAMPJ      float64 // per DRAM access: on-chip memory controller + PHY (DRAM device energy is off-chip and outside the paper's chip budget)
+	WritebackPJ float64 // per dirty writeback
+
+	// ExecScale derates execution/RF energy (the GPU's lower clock and
+	// voltage operating point).
+	ExecScale float64
+
+	// StaticWatts is the core's leakage + always-on power.
+	StaticWatts float64
+}
+
+// Breakdown is the energy of one run, split the way the paper's
+// Figure 10 reports it.
+type Breakdown struct {
+	FrontendOoO float64 // joules
+	Exec        float64
+	Memory      float64
+	Static      float64
+}
+
+// Total returns total joules.
+func (b Breakdown) Total() float64 { return b.FrontendOoO + b.Exec + b.Memory + b.Static }
+
+// Dynamic returns dynamic joules (everything but static).
+func (b Breakdown) Dynamic() float64 { return b.FrontendOoO + b.Exec + b.Memory }
+
+// Add accumulates another breakdown.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		FrontendOoO: b.FrontendOoO + o.FrontendOoO,
+		Exec:        b.Exec + o.Exec,
+		Memory:      b.Memory + o.Memory,
+		Static:      b.Static + o.Static,
+	}
+}
+
+const pj = 1e-12
+
+// Compute turns a pipeline run's statistics into joules under the
+// model. freqGHz converts cycles to seconds for the static term.
+func (m *Model) Compute(st *pipeline.Stats, freqGHz float64) Breakdown {
+	var b Breakdown
+
+	// Frontend + OoO: charged per frontend (batch) instruction.
+	fe := float64(st.Uops) * (m.FetchDecodePJ + m.OoOPJ + m.OptimizerPJ + m.ActiveMaskPJ)
+	fe += float64(st.Branches) * (m.BranchPredPJ + m.VotingPJ)
+	// Flushed lanes re-execute through the frontend once more.
+	fe += float64(st.FlushedLanes) * m.FetchDecodePJ
+	b.FrontendOoO = fe * pj
+
+	// Execution: per active lane.
+	scale := m.ExecScale
+	if scale == 0 {
+		scale = 1
+	}
+	ex := 0.0
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		ex += float64(st.LaneOpsByClass[c]) * (m.ExecPJ[c] + m.RegFilePJ)
+	}
+	b.Exec = ex * scale * pj
+
+	// Memory.
+	memUops := st.UopsByClass[isa.Load] + st.UopsByClass[isa.Store] + st.UopsByClass[isa.Atomic]
+	memLanes := st.LaneOpsByClass[isa.Load] + st.LaneOpsByClass[isa.Store] + st.LaneOpsByClass[isa.Atomic]
+	me := float64(memUops) * (m.LSQPJ + m.MCUPJ)
+	if memLanes > memUops {
+		me += float64(memLanes-memUops) * m.LSQLanePJ
+	}
+	me += float64(st.Mem.L1.Accesses) * (m.L1PJ + m.L1XbarPJ)
+	me += float64(st.Mem.TLB.Accesses) * m.TLBPJ
+	me += float64(st.Mem.TLB.Misses) * m.TLBMissPJ
+	me += float64(st.Mem.L2.Accesses) * m.L2PJ
+	me += float64(st.Mem.L3.Accesses+st.Mem.AtomicL3) * m.L3PJ
+	me += float64(st.Mem.DRAMAccesses) * m.DRAMPJ
+	me += float64(st.Mem.L1.Writebacks+st.Mem.L2.Writebacks) * m.WritebackPJ
+	b.Memory = me * pj
+
+	// Static power integrated over the run.
+	b.Static = m.StaticWatts * float64(st.Cycles) / (freqGHz * 1e9)
+	return b
+}
+
+// execTable builds the per-class execution energies from the scalar
+// base costs.
+func execTable(ialu, falu, simd float64) [isa.NumClasses]float64 {
+	var t [isa.NumClasses]float64
+	t[isa.IAlu] = ialu
+	t[isa.FAlu] = falu
+	t[isa.Simd] = simd
+	t[isa.Branch] = ialu
+	t[isa.Jump] = ialu * 0.5
+	t[isa.CallOp] = ialu
+	t[isa.RetOp] = ialu
+	t[isa.Load] = ialu // address generation
+	t[isa.Store] = ialu
+	t[isa.Atomic] = ialu * 2
+	t[isa.Fence] = ialu * 0.5
+	t[isa.Syscall] = ialu * 20 // kernel entry/exit
+	return t
+}
+
+// CPUModel is the single-threaded OoO x86-class core at 7 nm
+// (Table IV/V CPU column). The frontend+OoO share of a scalar integer
+// instruction's energy is ≈73 %, matching Figure 10 and the cited
+// Skylake power studies.
+func CPUModel() *Model {
+	return &Model{
+		Name:          "cpu",
+		FetchDecodePJ: 430,
+		BranchPredPJ:  44,
+		OoOPJ:         680,
+		RegFilePJ:     120,
+		ExecPJ:        execTable(48, 100, 730),
+		LSQPJ:         175,
+		L1PJ:          265,
+		TLBPJ:         18,
+		TLBMissPJ:     990,
+		L2PJ:          660,
+		L3PJ:          1870,
+		DRAMPJ:        1500,
+		WritebackPJ:   265,
+		StaticWatts:   0.36,
+	}
+}
+
+// SMTModel is the SMT-8 variant of the CPU core: McPAT attributes a
+// 14 % core power increase to the widened RAT/ROB tags and the larger
+// register file, while per-event energies are unchanged (every thread
+// still pays full frontend+OoO cost per instruction — the reason SMT
+// barely improves requests/joule).
+func SMTModel() *Model {
+	m := CPUModel()
+	m.Name = "cpu-smt8"
+	m.FetchDecodePJ *= 1.07
+	m.OoOPJ *= 1.14
+	m.RegFilePJ *= 1.14
+	m.StaticWatts *= 1.14
+	return m
+}
+
+// RPUModel is the 32-thread OoO-SIMT RPU core. Frontend/OoO events are
+// per *batch* instruction; the SIMT overheads (voting, convergence
+// optimizer, active-mask propagation, MCU, L1 crossbar) come from the
+// paper's Table V additions; the larger multi-banked caches cost 1.72x
+// (L1) and 1.82x (L2) per access.
+func RPUModel() *Model {
+	return &Model{
+		Name:          "rpu",
+		FetchDecodePJ: 470,
+		BranchPredPJ:  44,
+		OoOPJ:         760,
+		VotingPJ:      62,
+		OptimizerPJ:   48,
+		ActiveMaskPJ:  13,
+		// One wide vector-RF access serves the whole sub-batch, so the
+		// per-lane operand energy is below the scalar OoO PRF's
+		// (multi-ported, CAM-tagged) cost.
+		RegFilePJ:   72,
+		ExecPJ:      execTable(48, 100, 730),
+		LSQPJ:       210,
+		LSQLanePJ:   20,
+		MCUPJ:       31,
+		L1PJ:        265 * 1.72,
+		L1XbarPJ:    105,
+		TLBPJ:       18,
+		TLBMissPJ:   990,
+		L2PJ:        660 * 1.82,
+		L3PJ:        1870,
+		DRAMPJ:      1500,
+		WritebackPJ: 265,
+		StaticWatts: 1.60,
+	}
+}
+
+// GPUModel is an Ampere-like in-order SIMT core: no OoO structures, a
+// lean frontend amortized over 32 lanes, and execution units operating
+// at a lower clock/voltage point (ExecScale). StaticWatts is the
+// per-resident-batch share of the SM's leakage: unlike the RPU (one
+// batch per core), a GPU SM keeps ~16 warps resident, so one batch is
+// charged 1/16 of the SM static power while its latency is measured
+// end to end.
+func GPUModel() *Model {
+	return &Model{
+		Name:          "gpu",
+		FetchDecodePJ: 200,
+		BranchPredPJ:  0,
+		OoOPJ:         0,
+		OptimizerPJ:   40,
+		ActiveMaskPJ:  13,
+		// The GPU's single-ported, banked register file and its low
+		// clock/voltage point make its per-lane execution energy a
+		// fraction of the 2.5 GHz OoO core's.
+		RegFilePJ:   66,
+		ExecPJ:      execTable(48, 100, 730),
+		ExecScale:   0.18,
+		LSQPJ:       60,
+		LSQLanePJ:   8,
+		MCUPJ:       31,
+		L1PJ:        180,
+		L1XbarPJ:    60,
+		TLBPJ:       18,
+		TLBMissPJ:   990,
+		L2PJ:        600,
+		L3PJ:        1870,
+		DRAMPJ:      1500,
+		WritebackPJ: 265,
+		StaticWatts: 0.06,
+	}
+}

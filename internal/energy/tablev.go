@@ -1,0 +1,98 @@
+package energy
+
+import (
+	"fmt"
+	"io"
+)
+
+// Component is one row of the paper's Table V: per-component area and
+// peak power for the CPU and RPU cores at 7 nm, derived from
+// McPAT/CACTI. These are design-time estimates (inputs to the model's
+// calibration), reproduced here as data so the chipsim tool can print
+// the table and the tests can check the paper's headline ratios
+// (RPU core 6.3x area, 4.5x peak power, 32x threads).
+type Component struct {
+	Name                   string
+	CPUAreaMM2, RPUAreaMM2 float64
+	CPUWatts, RPUWatts     float64
+}
+
+// CoreComponents lists the per-core rows of Table V.
+var CoreComponents = []Component{
+	{"Fetch&Decode", 0.27, 0.30, 0.39, 0.40},
+	{"Branch Prediction", 0.01, 0.01, 0.02, 0.02},
+	{"OoO", 0.11, 0.17, 0.85, 1.45},
+	{"Register File", 0.14, 2.52, 0.49, 4.26},
+	{"Execution Units", 0.25, 2.31, 0.34, 2.51},
+	{"Load/Store Unit", 0.07, 0.34, 0.13, 0.41},
+	{"L1 Cache", 0.04, 0.22, 0.09, 0.20},
+	{"TLB", 0.02, 0.08, 0.06, 0.40},
+	{"L2 Cache", 0.20, 0.71, 0.13, 0.24},
+	{"Majority Voting", 0, 0.02, 0, 0.03},
+	{"SIMT Optimizer", 0, 0.03, 0, 0.05},
+	{"MCU", 0, 0.02, 0, 0.01},
+	{"L1-Xbar", 0, 0.31, 0, 1.23},
+}
+
+// ChipComponents lists the uncore rows of Table V.
+var ChipComponents = []Component{
+	{"L3 Cache", 7.82, 7.82, 0.75, 0.75},
+	{"NoC", 9.78, 1.72, 36.52, 7.02},
+	{"Memory Ctrl", 14.64, 23.59, 6.85, 19.27},
+	{"Static Power", 0, 0, 49, 53},
+}
+
+// CoreTotals sums the per-core rows.
+func CoreTotals() (cpuArea, rpuArea, cpuW, rpuW float64) {
+	for _, c := range CoreComponents {
+		cpuArea += c.CPUAreaMM2
+		rpuArea += c.RPUAreaMM2
+		cpuW += c.CPUWatts
+		rpuW += c.RPUWatts
+	}
+	return
+}
+
+// ChipTotals sums core totals scaled by core count plus the uncore
+// rows, reproducing Table V's Total Chip line (98 CPU cores vs 20 RPU
+// cores).
+func ChipTotals() (cpuArea, rpuArea, cpuW, rpuW float64) {
+	ca, ra, cw, rw := CoreTotals()
+	cpuArea, rpuArea = ca*98, ra*20
+	cpuW, rpuW = cw*98, rw*20
+	for _, c := range ChipComponents {
+		cpuArea += c.CPUAreaMM2
+		rpuArea += c.RPUAreaMM2
+		cpuW += c.CPUWatts
+		rpuW += c.RPUWatts
+	}
+	return
+}
+
+// ThreadDensity returns threads per mm² for the CPU chip (98 cores × 1
+// thread) and RPU chip (20 cores × 32 threads); the paper reports the
+// RPU improves thread density by ≈5.2x.
+func ThreadDensity() (cpu, rpu float64) {
+	ca, ra, _, _ := ChipTotals()
+	return 98 / ca, 20 * 32 / ra
+}
+
+// WriteTableV renders the per-component table.
+func WriteTableV(w io.Writer) {
+	fmt.Fprintf(w, "%-20s %10s %10s %10s %10s\n", "Component", "CPU mm2", "RPU mm2", "CPU W", "RPU W")
+	for _, c := range CoreComponents {
+		fmt.Fprintf(w, "%-20s %10.2f %10.2f %10.2f %10.2f\n",
+			c.Name, c.CPUAreaMM2, c.RPUAreaMM2, c.CPUWatts, c.RPUWatts)
+	}
+	ca, ra, cw, rw := CoreTotals()
+	fmt.Fprintf(w, "%-20s %10.2f %10.2f %10.2f %10.2f\n", "Total-1core", ca, ra, cw, rw)
+	for _, c := range ChipComponents {
+		fmt.Fprintf(w, "%-20s %10.2f %10.2f %10.2f %10.2f\n",
+			c.Name, c.CPUAreaMM2, c.RPUAreaMM2, c.CPUWatts, c.RPUWatts)
+	}
+	tca, tra, tcw, trw := ChipTotals()
+	fmt.Fprintf(w, "%-20s %10.1f %10.1f %10.1f %10.1f\n", "Total Chip", tca, tra, tcw, trw)
+	fmt.Fprintf(w, "\nRPU core vs CPU core: %.1fx area, %.1fx peak power, 32x threads\n", ra/ca, rw/cw)
+	dc, dr := ThreadDensity()
+	fmt.Fprintf(w, "Thread density: CPU %.3f vs RPU %.3f threads/mm2 (%.1fx)\n", dc, dr, dr/dc)
+}

@@ -1,0 +1,56 @@
+// Package isa defines the compact instruction set, structured program
+// builder and per-request interpreter that stand in for the paper's
+// x86 binaries and PIN-based SIMTec tracer. Microservices are expressed
+// as control-flow graphs whose branch conditions and memory addresses
+// are functions of the per-request context, so executing a program for
+// one request yields a dynamic scalar trace exactly as SIMTec produced
+// for one CPU thread.
+package isa
+
+// Class is the broad functional class of an instruction. The timing and
+// energy models key their per-instruction costs off this class, mirroring
+// how the paper's Accel-Sim frontend broke x86 CISC ops into RISC-like
+// micro-ops with separate loads and stores.
+type Class uint8
+
+// Instruction classes.
+const (
+	IAlu    Class = iota // scalar integer ALU op
+	FAlu                 // scalar floating point op
+	Simd                 // vector (SSE/AVX-like) op
+	Branch               // conditional branch
+	Jump                 // unconditional jump
+	CallOp               // procedure call
+	RetOp                // procedure return
+	Load                 // memory load
+	Store                // memory store
+	Atomic               // atomic read-modify-write
+	Fence                // memory fence
+	Syscall              // system call boundary (network/storage I/O marker)
+
+	NumClasses // number of classes; keep last
+)
+
+var classNames = [NumClasses]string{
+	"ialu", "falu", "simd", "branch", "jump", "call", "ret",
+	"load", "store", "atomic", "fence", "syscall",
+}
+
+// String returns the lower-case mnemonic for the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "invalid"
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == Load || c == Store || c == Atomic }
+
+// IsCtl reports whether the class redirects control flow.
+func (c Class) IsCtl() bool { return c == Branch || c == Jump || c == CallOp || c == RetOp }
+
+// InstrBytes is the fixed encoded size of every instruction. PCs advance
+// by this amount; the MinPC reconvergence heuristic relies on later
+// basic blocks having strictly larger PCs.
+const InstrBytes = 4

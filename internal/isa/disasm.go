@@ -1,0 +1,62 @@
+package isa
+
+import (
+	"fmt"
+	"io"
+)
+
+// Disassemble writes a human-readable static listing of the program's
+// basic blocks, instructions and terminators, followed by its callees.
+// The program may be linked or unlinked (PCs print as laid out).
+func (p *Program) Disassemble(w io.Writer) {
+	p.disasm(w, map[*Program]bool{})
+}
+
+func (p *Program) disasm(w io.Writer, seen map[*Program]bool) {
+	if seen[p] {
+		return
+	}
+	seen[p] = true
+	kind := "service"
+	if p.isFunc {
+		kind = "func"
+	}
+	fmt.Fprintf(w, "%s %q: base=%#x size=%d bytes, %d blocks, %d slots, frame=%d\n",
+		kind, p.Name, p.Base, p.size, len(p.Blocks), p.NumSlots, p.FrameBytes)
+	for _, blk := range p.Blocks {
+		fmt.Fprintf(w, "  block %d @ %#x:\n", blk.ID, blk.PC)
+		for _, in := range blk.Instrs {
+			detail := ""
+			if in.Addr != nil {
+				detail = fmt.Sprintf(" [mem %dB]", in.Size)
+			}
+			if in.Eff != nil {
+				detail += " {eff}"
+			}
+			dep := ""
+			if in.Dep1 > 0 || in.Dep2 > 0 {
+				dep = fmt.Sprintf(" dep(-%d,-%d)", in.Dep1, in.Dep2)
+			}
+			fmt.Fprintf(w, "    %#08x  %-8s%s%s\n", in.PC, in.Class, detail, dep)
+		}
+		t := blk.Term
+		switch t.Kind {
+		case TermFall:
+			fmt.Fprintf(w, "    %10s  fall -> block %d\n", "", t.Fall)
+		case TermBr:
+			fmt.Fprintf(w, "    %#08x  branch taken->block %d, fall->block %d, reconv->block %d\n",
+				t.PC, t.Taken, t.Fall, t.Reconv)
+		case TermJmp:
+			fmt.Fprintf(w, "    %#08x  jump -> block %d\n", t.PC, t.Taken)
+		case TermCall:
+			fmt.Fprintf(w, "    %#08x  call %q, resume block %d\n", t.PC, t.Callee.Name, t.Fall)
+		case TermRet:
+			fmt.Fprintf(w, "    %#08x  ret\n", t.PC)
+		case TermEnd:
+			fmt.Fprintf(w, "    %10s  end\n", "")
+		}
+	}
+	for _, c := range p.callees {
+		c.disasm(w, seen)
+	}
+}

@@ -1,0 +1,128 @@
+package isa
+
+import "fmt"
+
+// DefaultMaxOps bounds a single request's dynamic instruction count.
+// Real microservice requests execute 10^3..10^5 instructions; the bound
+// exists to turn a buggy non-terminating program into an error.
+const DefaultMaxOps = 2_000_000
+
+type frame struct {
+	prog *Program
+	ret  int // block ID in prog to resume at
+}
+
+// Execute runs the linked program for one request context and returns
+// the dynamic scalar trace. ctx.SP is initialised from ctx.StackBase.
+// maxOps <= 0 selects DefaultMaxOps.
+func Execute(top *Program, ctx *Ctx, maxOps int) ([]TraceOp, error) {
+	if !top.linked {
+		return nil, fmt.Errorf("isa: program %q executed before Link", top.Name)
+	}
+	if maxOps <= 0 {
+		maxOps = DefaultMaxOps
+	}
+	if need := top.MaxSlots(); len(ctx.Slots) < need {
+		ctx.Slots = make([]uint64, need)
+	}
+	ctx.SP = ctx.StackBase
+
+	ops := make([]TraceOp, 0, 1024)
+	emit := func(in *Instr) error {
+		if len(ops) >= maxOps {
+			return fmt.Errorf("isa: program %q exceeded %d dynamic instructions", top.Name, maxOps)
+		}
+		if in.Eff != nil {
+			in.Eff(ctx)
+		}
+		op := TraceOp{PC: in.PC, SP: ctx.StackBase - ctx.SP, Class: in.Class, Size: in.Size, Dep1: -1, Dep2: -1}
+		if in.Addr != nil {
+			op.Addr = in.Addr(ctx)
+		}
+		idx := len(ops)
+		if in.Dep1 > 0 && idx >= int(in.Dep1) {
+			op.Dep1 = int32(idx - int(in.Dep1))
+		}
+		if in.Dep2 > 0 && idx >= int(in.Dep2) {
+			op.Dep2 = int32(idx - int(in.Dep2))
+		}
+		ops = append(ops, op)
+		return nil
+	}
+	// emitCtl appends a control-flow instruction (branch/jump/call/ret).
+	emitCtl := func(pc uint64, class Class, taken bool) error {
+		if len(ops) >= maxOps {
+			return fmt.Errorf("isa: program %q exceeded %d dynamic instructions", top.Name, maxOps)
+		}
+		op := TraceOp{PC: pc, SP: ctx.StackBase - ctx.SP, Class: class, Taken: taken, Dep1: -1, Dep2: -1}
+		if class == Branch && len(ops) > 0 {
+			// A conditional branch consumes the value produced just
+			// before it (compare-and-branch idiom).
+			op.Dep1 = int32(len(ops) - 1)
+		}
+		ops = append(ops, op)
+		return nil
+	}
+
+	prog := top
+	blk := prog.Blocks[prog.Entry]
+	var stack []frame
+
+	for {
+		for i := range blk.Instrs {
+			if err := emit(&blk.Instrs[i]); err != nil {
+				return nil, err
+			}
+		}
+		t := &blk.Term
+		if t.Eff != nil {
+			t.Eff(ctx)
+		}
+		switch t.Kind {
+		case TermFall:
+			blk = prog.Blocks[t.Fall]
+		case TermBr:
+			taken := t.Cond(ctx)
+			if err := emitCtl(t.PC, Branch, taken); err != nil {
+				return nil, err
+			}
+			if taken {
+				blk = prog.Blocks[t.Taken]
+			} else {
+				blk = prog.Blocks[t.Fall]
+			}
+		case TermJmp:
+			if err := emitCtl(t.PC, Jump, true); err != nil {
+				return nil, err
+			}
+			blk = prog.Blocks[t.Taken]
+		case TermCall:
+			if err := emitCtl(t.PC, CallOp, true); err != nil {
+				return nil, err
+			}
+			stack = append(stack, frame{prog: prog, ret: t.Fall})
+			ctx.SP -= t.Callee.FrameBytes
+			prog = t.Callee
+			blk = prog.Blocks[prog.Entry]
+		case TermRet:
+			if err := emitCtl(t.PC, RetOp, true); err != nil {
+				return nil, err
+			}
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("isa: %q returned with empty call stack", prog.Name)
+			}
+			ctx.SP += prog.FrameBytes
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			prog = f.prog
+			blk = prog.Blocks[f.ret]
+		case TermEnd:
+			if len(stack) != 0 {
+				return nil, fmt.Errorf("isa: %q ended with %d live frames", prog.Name, len(stack))
+			}
+			return ops, nil
+		default:
+			return nil, fmt.Errorf("isa: %q block %d has invalid terminator", prog.Name, blk.ID)
+		}
+	}
+}

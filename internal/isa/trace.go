@@ -1,0 +1,54 @@
+package isa
+
+// TraceOp is one dynamic instruction in a scalar per-request trace —
+// the unit SIMTec emitted per CPU thread. The SIMT lock-step executor
+// merges per-thread TraceOp streams by (SP, PC); the timing model
+// consumes the merged stream.
+type TraceOp struct {
+	// PC is the instruction's global program counter.
+	PC uint64
+	// SP is the stack DEPTH (StackBase - stack pointer) when the
+	// instruction executed. Depth rather than the raw pointer is
+	// recorded so that threads with distinct stack segments compare
+	// equal at the same call site; the MinSP reconvergence policy
+	// prioritises the deepest call (largest depth).
+	SP uint64
+	// Addr is the accessed virtual address for memory classes.
+	Addr uint64
+	// Dep1 and Dep2 are absolute dynamic indices of producer
+	// instructions (-1 when unused).
+	Dep1, Dep2 int32
+	// Class is the functional class.
+	Class Class
+	// Size is the memory access size in bytes.
+	Size uint8
+	// Taken records a conditional branch's outcome.
+	Taken bool
+}
+
+// TraceStats summarises a scalar trace for reporting and tests.
+type TraceStats struct {
+	Total    int
+	ByClass  [NumClasses]int
+	StackOps int
+	HeapOps  int
+}
+
+// Summarize computes class counts for a trace. isStack classifies
+// addresses into the stack segment (supplied by internal/alloc).
+func Summarize(ops []TraceOp, isStack func(uint64) bool) TraceStats {
+	var s TraceStats
+	s.Total = len(ops)
+	for i := range ops {
+		op := &ops[i]
+		s.ByClass[op.Class]++
+		if op.Class.IsMem() {
+			if isStack != nil && isStack(op.Addr) {
+				s.StackOps++
+			} else {
+				s.HeapOps++
+			}
+		}
+	}
+	return s
+}

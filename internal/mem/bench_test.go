@@ -1,0 +1,41 @@
+package mem
+
+import "testing"
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := NewCache(CacheConfig{Name: "b", SizeBytes: 64 << 10, Ways: 8, LineBytes: 32, Banks: 1, LatCycles: 3})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*32%(128<<10), i%4 == 0)
+	}
+}
+
+func BenchmarkSystemAccess(b *testing.B) {
+	s := NewSystem(sysConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Access(uint64(i)*40%(1<<20), false, false, uint64(i))
+	}
+}
+
+func BenchmarkCoalesceBroadcast(b *testing.B) {
+	lanes := make([][]uint64, 32)
+	for i := range lanes {
+		lanes[i] = []uint64{0x1000}
+	}
+	var st MCUStats
+	for i := 0; i < b.N; i++ {
+		Coalesce(lanes, 32, &st)
+	}
+}
+
+func BenchmarkCoalesceDivergent(b *testing.B) {
+	lanes := make([][]uint64, 32)
+	for i := range lanes {
+		lanes[i] = []uint64{uint64(i) * 8192}
+	}
+	var st MCUStats
+	for i := 0; i < b.N; i++ {
+		Coalesce(lanes, 32, &st)
+	}
+}

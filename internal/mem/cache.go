@@ -1,0 +1,199 @@
+// Package mem models the SIMR memory system: banked set-associative
+// caches with LRU replacement, per-bank TLBs, MSHR-based miss merging,
+// the RPU's memory coalescing unit (MCU), DRAM channels with a
+// latency+bandwidth model, and the mesh vs crossbar interconnects the
+// paper compares.
+package mem
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	Banks     int
+	// LatCycles is the hit latency.
+	LatCycles uint64
+	// BytesPerCycle is the peak read bandwidth (reporting only).
+	BytesPerCycle int
+}
+
+// Sets returns the number of sets.
+func (c CacheConfig) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// CacheStats counts cache events.
+type CacheStats struct {
+	Accesses      uint64
+	Misses        uint64
+	Writebacks    uint64
+	BankConflicts uint64
+}
+
+// MPKI returns misses per thousand of the given instruction count.
+func (s CacheStats) MPKI(instrs uint64) float64 {
+	if instrs == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(instrs) * 1000
+}
+
+// HitRate returns the fraction of accesses that hit.
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return 1 - float64(s.Misses)/float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a banked, set-associative, write-allocate, write-back cache.
+// Lines are interleaved over banks at line granularity, as in the RPU's
+// multi-bank L1 (which is why TLB entries must be duplicated per bank).
+type Cache struct {
+	cfg      CacheConfig
+	sets     int
+	lines    []line // sets × ways
+	tick     uint64
+	bankFree []uint64 // next cycle each bank can accept an access
+	Stats    CacheStats
+}
+
+// NewCache builds a cache from cfg; the shape must divide evenly.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.Banks <= 0 {
+		cfg.Banks = 1
+	}
+	sets := cfg.Sets()
+	if sets == 0 || cfg.SizeBytes%(cfg.Ways*cfg.LineBytes) != 0 {
+		panic(fmt.Sprintf("mem: cache %q shape invalid: size=%d ways=%d line=%d",
+			cfg.Name, cfg.SizeBytes, cfg.Ways, cfg.LineBytes))
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		lines:    make([]line, sets*cfg.Ways),
+		bankFree: make([]uint64, cfg.Banks),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// LineAddr returns the line-aligned address of addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.cfg.LineBytes-1)
+}
+
+// Bank returns the bank servicing addr (line-granularity interleave).
+func (c *Cache) Bank(addr uint64) int {
+	return int((addr / uint64(c.cfg.LineBytes)) % uint64(c.cfg.Banks))
+}
+
+// BankTime serialises an access on addr's bank starting no earlier than
+// t and returns the cycle the bank actually accepted it. Accesses to
+// distinct banks proceed in parallel; same-bank accesses serialise
+// (bank conflicts).
+func (c *Cache) BankTime(addr uint64, t uint64) uint64 {
+	b := c.Bank(addr)
+	start := t
+	if c.bankFree[b] > start {
+		start = c.bankFree[b]
+		c.Stats.BankConflicts++
+	}
+	c.bankFree[b] = start + 1
+	return start
+}
+
+// Access looks up addr; on a miss the line is allocated (write-allocate)
+// and the evicted dirty line counts as a writeback. Returns hit and
+// whether a dirty line was written back.
+func (c *Cache) Access(addr uint64, write bool) (hit, writeback bool) {
+	c.tick++
+	c.Stats.Accesses++
+	tag := addr / uint64(c.cfg.LineBytes)
+	set := int(tag % uint64(c.sets))
+	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
+
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].used = c.tick
+			if write {
+				ways[i].dirty = true
+			}
+			return true, false
+		}
+	}
+	c.Stats.Misses++
+	// Choose LRU victim.
+	victim := 0
+	for i := 1; i < len(ways); i++ {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].used < ways[victim].used {
+			victim = i
+		}
+	}
+	writeback = ways[victim].valid && ways[victim].dirty
+	if writeback {
+		c.Stats.Writebacks++
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, used: c.tick}
+	return false, writeback
+}
+
+// MarkDirty sets the dirty bit on addr's line if resident, without
+// counting an access.
+func (c *Cache) MarkDirty(addr uint64) {
+	tag := addr / uint64(c.cfg.LineBytes)
+	set := int(tag % uint64(c.sets))
+	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].dirty = true
+			return
+		}
+	}
+}
+
+// Probe reports whether addr is resident without updating any state.
+func (c *Cache) Probe(addr uint64) bool {
+	tag := addr / uint64(c.cfg.LineBytes)
+	set := int(tag % uint64(c.sets))
+	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetTiming clears bank timing state (between independent runs that
+// share cache contents).
+func (c *Cache) ResetTiming() {
+	for i := range c.bankFree {
+		c.bankFree[i] = 0
+	}
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	for i := range c.bankFree {
+		c.bankFree[i] = 0
+	}
+	c.tick = 0
+	c.Stats = CacheStats{}
+}

@@ -1,0 +1,64 @@
+package mem
+
+import "testing"
+
+// FuzzCoalesce checks the MCU's structural invariants for arbitrary
+// lane address patterns: at least one access when any lane is active,
+// never more accesses than lane word-granules, and broadcast detection
+// exact.
+func FuzzCoalesce(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0}, uint8(4))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(8))
+	f.Add([]byte{255, 0, 255, 0}, uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, width uint8) {
+		n := int(width%32) + 1
+		if len(raw) == 0 {
+			return
+		}
+		lanes := make([][]uint64, n)
+		total := 0
+		allSame := true
+		var first uint64
+		for i := 0; i < n; i++ {
+			b := raw[i%len(raw)]
+			addr := uint64(b) * 4
+			lanes[i] = []uint64{addr}
+			total++
+			if i == 0 {
+				first = addr
+			} else if addr != first {
+				allSame = false
+			}
+		}
+		var st MCUStats
+		acc, pat := Coalesce(lanes, 32, &st)
+		if len(acc) < 1 || len(acc) > total {
+			t.Fatalf("emitted %d accesses for %d lanes", len(acc), total)
+		}
+		if allSame && (pat != PatternBroadcast || len(acc) != 1) {
+			t.Fatalf("uniform addresses not broadcast: %v %d", pat, len(acc))
+		}
+		if st.Emitted != uint64(len(acc)) || st.LaneAccesses != uint64(total) {
+			t.Fatalf("stats inconsistent: %+v vs %d/%d", st, len(acc), total)
+		}
+	})
+}
+
+// FuzzCacheAccess checks that the cache never loses the line it just
+// inserted and that stats stay consistent.
+func FuzzCacheAccess(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, false)
+	f.Fuzz(func(t *testing.T, raw []byte, write bool) {
+		c := smallCache()
+		for _, b := range raw {
+			addr := uint64(b) * 32
+			c.Access(addr, write)
+			if !c.Probe(c.LineAddr(addr)) {
+				t.Fatalf("line %#x absent immediately after access", addr)
+			}
+		}
+		if c.Stats.Misses > c.Stats.Accesses {
+			t.Fatalf("more misses than accesses: %+v", c.Stats)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package mem
+
+// Pattern classifies what the memory coalescing unit detected for one
+// batch memory instruction.
+type Pattern uint8
+
+// Coalescing patterns. The RPU's low-latency MCU only detects the two
+// simple cases (paper Fig 8b): a broadcast (all lanes read the same
+// word) and consecutive-word runs within cache lines; anything else
+// generates one access per active lane, exactly like the paper's
+// LD/ST unit.
+const (
+	// PatternBroadcast: every active lane reads the same word.
+	PatternBroadcast Pattern = iota
+	// PatternCoalesced: lanes access consecutive words; one access per
+	// touched cache line.
+	PatternCoalesced
+	// PatternDivergent: no simple pattern; one access per active lane.
+	PatternDivergent
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case PatternBroadcast:
+		return "broadcast"
+	case PatternCoalesced:
+		return "coalesced"
+	default:
+		return "divergent"
+	}
+}
+
+// MCUStats counts coalescer outcomes.
+type MCUStats struct {
+	Broadcast uint64
+	Coalesced uint64
+	Divergent uint64
+	// LaneAccesses is the pre-coalescing access count (sum of active
+	// lanes over all ops); Emitted is what actually reached the cache.
+	LaneAccesses uint64
+	Emitted      uint64
+}
+
+// wordBytes is the coalescing word granularity.
+const wordBytes = 4
+
+// Coalesce applies the MCU to a batch memory instruction. laneAddrs
+// lists each active lane's physical word addresses (a lane may span
+// two interleaved granules; see alloc.StackGroup.Translate). lineBytes
+// is the L1 line size. It returns the addresses to issue to the cache
+// and the detected pattern.
+//
+// Detection: if every lane touches the same word, one broadcast access
+// is emitted. Otherwise the MCU groups the touched words per cache
+// line; when each touched line holds a consecutive run of words AND
+// merging actually saves accesses, one access per line is emitted
+// (PatternCoalesced). Any other shape is divergent: one access per
+// active lane at its first word.
+func Coalesce(laneAddrs [][]uint64, lineBytes int, stats *MCUStats) ([]uint64, Pattern) {
+	active := 0
+	var first uint64
+	allSame := true
+	haveFirst := false
+	words := make([]uint64, 0, len(laneAddrs)*2)
+	for _, as := range laneAddrs {
+		if len(as) == 0 {
+			continue
+		}
+		active++
+		for _, a := range as {
+			w := a / wordBytes
+			if !haveFirst {
+				first, haveFirst = w, true
+			} else if w != first {
+				allSame = false
+			}
+			words = append(words, w)
+		}
+	}
+	if stats != nil {
+		stats.LaneAccesses += uint64(active)
+	}
+	if active == 0 {
+		return nil, PatternDivergent
+	}
+
+	if allSame {
+		if stats != nil {
+			stats.Broadcast++
+			stats.Emitted++
+		}
+		return []uint64{first * wordBytes &^ uint64(lineBytes-1)}, PatternBroadcast
+	}
+
+	// Group distinct words per line and check each line's words form a
+	// consecutive run.
+	wordsPerLine := uint64(lineBytes / wordBytes)
+	type run struct {
+		min, max uint64
+		count    int
+	}
+	lines := map[uint64]*run{}
+	order := make([]uint64, 0, 8)
+	distinct := map[uint64]struct{}{}
+	for _, w := range words {
+		if _, dup := distinct[w]; dup {
+			continue
+		}
+		distinct[w] = struct{}{}
+		la := w / wordsPerLine
+		r, ok := lines[la]
+		if !ok {
+			lines[la] = &run{min: w, max: w, count: 1}
+			order = append(order, la)
+			continue
+		}
+		if w < r.min {
+			r.min = w
+		}
+		if w > r.max {
+			r.max = w
+		}
+		r.count++
+	}
+	consecutive := true
+	for _, r := range lines {
+		if r.max-r.min+1 != uint64(r.count) {
+			consecutive = false
+			break
+		}
+	}
+	if consecutive && len(lines) < active {
+		out := make([]uint64, 0, len(order))
+		for _, la := range order {
+			out = append(out, la*uint64(lineBytes))
+		}
+		if stats != nil {
+			stats.Coalesced++
+			stats.Emitted += uint64(len(out))
+		}
+		return out, PatternCoalesced
+	}
+
+	// Divergent: one access per active lane, at the lane's first word.
+	out := make([]uint64, 0, active)
+	for _, as := range laneAddrs {
+		if len(as) > 0 {
+			out = append(out, as[0]&^uint64(wordBytes-1))
+		}
+	}
+	if stats != nil {
+		stats.Divergent++
+		stats.Emitted += uint64(len(out))
+	}
+	return out, PatternDivergent
+}

@@ -1,0 +1,47 @@
+package pipeline
+
+import (
+	"testing"
+
+	"simr/internal/isa"
+)
+
+func benchUops(n int, lanes int) []Uop {
+	uops := make([]Uop, n)
+	for i := range uops {
+		cls := isa.IAlu
+		switch i % 7 {
+		case 3:
+			cls = isa.Load
+		case 5:
+			cls = isa.Store
+		}
+		u := Uop{Class: cls, Dep1: -1, Dep2: -1, ActiveLanes: lanes, PC: uint64(i) * 4}
+		if i%4 == 0 && i > 0 {
+			u.Dep1 = int32(i - 1)
+		}
+		if cls.IsMem() {
+			u.Accesses = []uint64{uint64(i) * 64 % (1 << 20)}
+		}
+		uops[i] = u
+	}
+	return uops
+}
+
+func BenchmarkRunScalar(b *testing.B) {
+	uops := benchUops(4096, 1)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		NewCore(testCfg()).Run(testMem(), uops)
+	}
+}
+
+func BenchmarkRunBatch(b *testing.B) {
+	cfg := testCfg()
+	cfg.Lanes = 8
+	uops := benchUops(4096, 32)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		NewCore(cfg).Run(testMem(), uops)
+	}
+}

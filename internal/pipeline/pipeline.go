@@ -1,0 +1,387 @@
+// Package pipeline is the cycle-level core timing model. It implements
+// a one-pass dataflow (interval-style) simulation of a superscalar
+// out-of-order pipeline: width-limited fetch/dispatch, ROB occupancy,
+// dependency-driven wakeup, bandwidth-limited issue with sub-batch
+// interleaving over the SIMT lanes, per-class execution latencies,
+// branch prediction with optional per-batch majority voting, memory
+// accesses timed through internal/mem, and width-limited in-order
+// retire. The same engine models the paper's four design points: the
+// single-threaded OoO CPU, the SMT-8 CPU, the OoO-SIMT RPU and an
+// in-order SIMT GPU.
+package pipeline
+
+import (
+	"simr/internal/isa"
+	"simr/internal/mem"
+)
+
+// Uop is one instruction presented to the timing model: a scalar
+// instruction (CPU), or a batch instruction with its active mask and
+// coalesced physical accesses (RPU/GPU).
+type Uop struct {
+	PC         uint64
+	Class      isa.Class
+	Dep1, Dep2 int32 // producer uop indices in the same stream, -1 none
+	// Accesses are the physical addresses this uop issues to the L1
+	// (already MCU-coalesced for batch mode).
+	Accesses []uint64
+	// ActiveLanes is the active thread count (1 for scalar mode).
+	ActiveLanes int
+	// Mask and TakenMask carry branch vote information in batch mode.
+	Mask, TakenMask uint64
+	// Taken is the scalar branch outcome.
+	Taken bool
+	// Thread tags the SMT stream the uop belongs to.
+	Thread int
+}
+
+// Config describes one core's pipeline.
+type Config struct {
+	Name string
+	// FetchWidth, IssueWidth and RetireWidth are per-cycle limits.
+	FetchWidth, IssueWidth, RetireWidth int
+	// ROB is the reorder-buffer size; ROBPerThread, when non-zero,
+	// partitions it per SMT thread.
+	ROB          int
+	ROBPerThread int
+	// Lanes is the SIMT execution width m; batch instructions issue
+	// over ceil(active/m) cycles (sub-batch interleaving). 1 = scalar.
+	Lanes int
+	// Execution latencies per class, in cycles.
+	IALULat, FALULat, SimdLat, BranchLat, SyscallLat uint64
+	// RedirectPenalty is the frontend refill after a mispredict.
+	RedirectPenalty uint64
+	// InOrder forces issue in program order (GPU).
+	InOrder bool
+	// NoSpeculation stalls fetch until each branch resolves (GPU).
+	NoSpeculation bool
+	// MajorityVote updates the predictor with the batch's majority
+	// outcome; otherwise lane 0's outcome is used.
+	MajorityVote bool
+	// FreqGHz converts cycles to wall time.
+	FreqGHz float64
+}
+
+// Stats is the outcome of one Run.
+type Stats struct {
+	Cycles uint64
+	// Uops is the number of instructions the frontend processed
+	// (batch instructions in batch mode: the quantity the RPU
+	// amortises frontend energy over).
+	Uops uint64
+	// ScalarOps is the work performed (sum of active lanes).
+	ScalarOps uint64
+	// UopsByClass and LaneOpsByClass split the two counts per class.
+	UopsByClass    [isa.NumClasses]uint64
+	LaneOpsByClass [isa.NumClasses]uint64
+	Branches       uint64
+	Mispredicts    uint64
+	// FlushedLanes counts lanes whose instructions were flushed at
+	// commit because their branch outcome disagreed with the batch
+	// prediction (divergence-induced mispredictions).
+	FlushedLanes uint64
+	// IssueSlots counts consumed issue tokens (sub-batch occupancy).
+	IssueSlots uint64
+	// LoadCount/LoadLatSum measure average load-to-use latency.
+	LoadCount  uint64
+	LoadLatSum uint64
+	// Mem snapshots the memory system counters accumulated during the
+	// run (deltas are the caller's responsibility when reusing a
+	// System).
+	Mem mem.SysStats
+}
+
+// Seconds converts a cycle count to seconds at the configured clock.
+func (c Config) Seconds(cycles uint64) float64 {
+	return float64(cycles) / (c.FreqGHz * 1e9)
+}
+
+// AvgLoadLatency returns the mean load completion latency in cycles.
+func (s *Stats) AvgLoadLatency() float64 {
+	if s.LoadCount == 0 {
+		return 0
+	}
+	return float64(s.LoadLatSum) / float64(s.LoadCount)
+}
+
+// IPC returns retired uops per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Uops) / float64(s.Cycles)
+}
+
+// ring enforces a per-cycle token bandwidth W for IN-ORDER pipeline
+// stages (fetch/dispatch and retire): grant i must be at least one
+// cycle after grant i-W.
+type ring struct {
+	slots []uint64
+	pos   int
+}
+
+func newRing(w int) *ring {
+	if w <= 0 {
+		w = 1
+	}
+	return &ring{slots: make([]uint64, w)}
+}
+
+// grant returns the earliest time >= want with bandwidth available.
+func (r *ring) grant(want uint64) uint64 {
+	if min := r.slots[r.pos] + 1; want < min {
+		want = min
+	}
+	r.slots[r.pos] = want
+	r.pos++
+	if r.pos == len(r.slots) {
+		r.pos = 0
+	}
+	return want
+}
+
+// slotTable enforces a per-cycle token bandwidth for the OUT-OF-ORDER
+// issue stage: an instruction whose operands are ready at cycle t
+// takes the first cycle >= t with a free issue slot, independent of
+// program order (a stalled older instruction does not delay ready
+// younger ones).
+type slotTable struct {
+	counts map[uint64]uint16
+	width  uint16
+}
+
+func newSlotTable(w int) *slotTable {
+	if w <= 0 {
+		w = 1
+	}
+	return &slotTable{counts: map[uint64]uint16{}, width: uint16(w)}
+}
+
+// grant consumes one slot at the earliest cycle >= want.
+func (s *slotTable) grant(want uint64) uint64 {
+	for {
+		if s.counts[want] < s.width {
+			s.counts[want]++
+			return want
+		}
+		want++
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Core bundles a pipeline configuration with its branch predictors.
+type Core struct {
+	Cfg Config
+	BP  *Predictor
+	LP  *LoopPredictor
+}
+
+// NewCore creates a core with a 4K-entry gshare predictor and a 256-
+// entry loop termination predictor.
+func NewCore(cfg Config) *Core {
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = 1
+	}
+	return &Core{Cfg: cfg, BP: NewPredictor(12), LP: NewLoopPredictor(8)}
+}
+
+// Run simulates the uop stream against the memory system and returns
+// timing statistics. The memory system's state (cache contents, bank
+// timing) persists across calls, modelling back-to-back requests on a
+// warm core.
+func (c *Core) Run(ms *mem.System, uops []Uop) Stats {
+	cfg := c.Cfg
+	var st Stats
+
+	n := len(uops)
+	completion := make([]uint64, n)
+	retire := make([]uint64, n)
+
+	fetchR := newRing(cfg.FetchWidth)
+	issueS := newSlotTable(cfg.IssueWidth)
+	retireR := newRing(cfg.RetireWidth)
+
+	var fetchMin uint64  // frontend stalled until (redirects)
+	var lastIssue uint64 // in-order issue constraint
+	// Per-thread dispatch history for partitioned ROBs.
+	var perThread map[int][]int
+	if cfg.ROBPerThread > 0 {
+		perThread = map[int][]int{}
+	}
+
+	for i := range uops {
+		u := &uops[i]
+
+		// Dispatch: fetch bandwidth, redirect stalls, ROB occupancy.
+		d := fetchR.grant(fetchMin)
+		if cfg.ROBPerThread > 0 {
+			hist := perThread[u.Thread]
+			if len(hist) >= cfg.ROBPerThread {
+				j := hist[len(hist)-cfg.ROBPerThread]
+				d = max64(d, retire[j])
+			}
+			perThread[u.Thread] = append(hist, i)
+		} else if cfg.ROB > 0 && i >= cfg.ROB {
+			d = max64(d, retire[i-cfg.ROB])
+		}
+
+		// Ready: dependencies resolved.
+		ready := d + 1
+		if u.Dep1 >= 0 {
+			ready = max64(ready, completion[u.Dep1])
+		}
+		if u.Dep2 >= 0 {
+			ready = max64(ready, completion[u.Dep2])
+		}
+		if cfg.InOrder {
+			ready = max64(ready, lastIssue)
+		}
+
+		// Issue: one token per sub-batch group (execution classes widen
+		// over the lanes); memory instructions occupy one LSQ row.
+		tokens := 1
+		if u.ActiveLanes > cfg.Lanes && !u.Class.IsMem() {
+			tokens = (u.ActiveLanes + cfg.Lanes - 1) / cfg.Lanes
+		}
+		issue := ready
+		for k := 0; k < tokens; k++ {
+			issue = issueS.grant(issue)
+		}
+		st.IssueSlots += uint64(tokens)
+		lastIssue = issue
+
+		// Execute.
+		var done uint64
+		switch u.Class {
+		case isa.Load, isa.Atomic:
+			done = issue
+			for _, a := range u.Accesses {
+				if t := ms.Access(a, false, u.Class == isa.Atomic, issue); t > done {
+					done = t
+				}
+			}
+			st.LoadCount++
+			st.LoadLatSum += done - issue
+		case isa.Store:
+			// Stores retire from the store queue off the critical path,
+			// but still update cache state and traffic now.
+			for _, a := range u.Accesses {
+				ms.Access(a, true, false, issue)
+			}
+			done = issue + 1
+		case isa.Branch:
+			done = issue + cfg.BranchLat
+			st.Branches++
+			actual := u.Taken
+			if u.Mask != 0 {
+				actual = c.voteOutcome(u)
+				// Lanes disagreeing with the batch direction flush at
+				// commit regardless of prediction accuracy.
+				agree := popcount(u.TakenMask)
+				if !actual {
+					agree = popcount(u.Mask) - agree
+				}
+				st.FlushedLanes += uint64(popcount(u.Mask) - agree)
+			}
+			pred, conf := c.LP.Predict(u.PC)
+			if !conf {
+				pred = c.BP.Predict(u.PC)
+			}
+			c.LP.Update(u.PC, actual)
+			c.BP.Update(u.PC, actual)
+			if pred != actual {
+				st.Mispredicts++
+				fetchMin = max64(fetchMin, done+cfg.RedirectPenalty)
+			}
+			if cfg.NoSpeculation {
+				fetchMin = max64(fetchMin, done)
+			}
+		case isa.Jump, isa.CallOp, isa.RetOp:
+			done = issue + cfg.IALULat
+		case isa.FAlu:
+			done = issue + cfg.FALULat
+		case isa.Simd:
+			done = issue + cfg.SimdLat
+		case isa.Syscall:
+			done = issue + cfg.SyscallLat
+		case isa.Fence:
+			done = issue + 1
+			if cfg.InOrder {
+				lastIssue = done
+			}
+		default:
+			done = issue + cfg.IALULat
+		}
+		completion[i] = done
+
+		// Retire: in order, width-limited.
+		r := retireR.grant(done)
+		if i > 0 {
+			r = max64(r, retire[i-1])
+		}
+		retire[i] = r
+
+		// Accounting.
+		st.Uops++
+		st.UopsByClass[u.Class]++
+		lanes := u.ActiveLanes
+		if lanes <= 0 {
+			lanes = 1
+		}
+		st.ScalarOps += uint64(lanes)
+		st.LaneOpsByClass[u.Class] += uint64(lanes)
+	}
+
+	if n > 0 {
+		st.Cycles = retire[n-1]
+	}
+	st.Mem = ms.Stats()
+	return st
+}
+
+// voteOutcome applies the configured vote policy to a batch branch.
+func (c *Core) voteOutcome(u *Uop) bool {
+	if c.Cfg.MajorityVote {
+		taken := popcount(u.TakenMask)
+		total := popcount(u.Mask)
+		return taken*2 >= total
+	}
+	// Without voting the prediction follows the lowest active lane.
+	low := u.Mask & (^u.Mask + 1)
+	return u.TakenMask&low != 0
+}
+
+func popcount(m uint64) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+// Accumulate adds another run's non-memory counters into s (memory
+// counters come from the shared mem.System snapshot, which is already
+// cumulative across runs).
+func (s *Stats) Accumulate(o *Stats) {
+	s.Cycles += o.Cycles
+	s.Uops += o.Uops
+	s.ScalarOps += o.ScalarOps
+	for c := range s.UopsByClass {
+		s.UopsByClass[c] += o.UopsByClass[c]
+		s.LaneOpsByClass[c] += o.LaneOpsByClass[c]
+	}
+	s.Branches += o.Branches
+	s.Mispredicts += o.Mispredicts
+	s.FlushedLanes += o.FlushedLanes
+	s.IssueSlots += o.IssueSlots
+	s.LoadCount += o.LoadCount
+	s.LoadLatSum += o.LoadLatSum
+	s.Mem = o.Mem
+}

@@ -1,0 +1,332 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"simr/internal/isa"
+	"simr/internal/mem"
+)
+
+func testMem() *mem.System {
+	return mem.NewSystem(mem.SysConfig{
+		L1:                mem.CacheConfig{Name: "l1", SizeBytes: 4 << 10, Ways: 4, LineBytes: 32, Banks: 2, LatCycles: 3},
+		TLB:               mem.TLBConfig{EntriesPerBank: 32, Banks: 2, MissLatCycles: 40},
+		L2:                mem.CacheConfig{Name: "l2", SizeBytes: 16 << 10, Ways: 4, LineBytes: 32, Banks: 1, LatCycles: 12},
+		L3:                mem.CacheConfig{Name: "l3", SizeBytes: 64 << 10, Ways: 4, LineBytes: 32, Banks: 1, LatCycles: 36},
+		ICLatCycles:       4,
+		DRAMLatCycles:     160,
+		DRAMBytesPerCycle: 16,
+	})
+}
+
+func testCfg() Config {
+	return Config{
+		Name:       "t",
+		FetchWidth: 4, IssueWidth: 4, RetireWidth: 4,
+		ROB:     64,
+		Lanes:   1,
+		IALULat: 1, FALULat: 3, SimdLat: 3, BranchLat: 1, SyscallLat: 10,
+		RedirectPenalty: 10,
+		FreqGHz:         2.5,
+	}
+}
+
+func alus(n int, dep bool) []Uop {
+	uops := make([]Uop, n)
+	for i := range uops {
+		uops[i] = Uop{Class: isa.IAlu, Dep1: -1, Dep2: -1, ActiveLanes: 1}
+		if dep && i > 0 {
+			uops[i].Dep1 = int32(i - 1)
+		}
+	}
+	return uops
+}
+
+func TestIndependentOpsReachIssueWidth(t *testing.T) {
+	c := NewCore(testCfg())
+	st := c.Run(testMem(), alus(400, false))
+	if ipc := st.IPC(); ipc < 3.0 {
+		t.Fatalf("independent ALU IPC %.2f, want near issue width 4", ipc)
+	}
+}
+
+func TestSerialChainBoundByLatency(t *testing.T) {
+	c := NewCore(testCfg())
+	st := c.Run(testMem(), alus(400, true))
+	if ipc := st.IPC(); ipc > 1.05 {
+		t.Fatalf("serial chain IPC %.2f, want <= ~1", ipc)
+	}
+	// With 4-cycle ALUs the chain runs 4x slower.
+	cfg := testCfg()
+	cfg.IALULat = 4
+	c4 := NewCore(cfg)
+	st4 := c4.Run(testMem(), alus(400, true))
+	if r := float64(st4.Cycles) / float64(st.Cycles); r < 3.0 {
+		t.Fatalf("4-cycle ALU chain only %.2fx slower", r)
+	}
+}
+
+func TestOoOIssueOvertakesStalledLoad(t *testing.T) {
+	// A cold load followed by many independent ALUs: the ALUs must not
+	// wait for the load (out-of-order issue).
+	uops := []Uop{{Class: isa.Load, Dep1: -1, Dep2: -1, ActiveLanes: 1, Accesses: []uint64{1 << 30}}}
+	uops = append(uops, alus(100, false)...)
+	c := NewCore(testCfg())
+	st := c.Run(testMem(), uops)
+	// Serial would be ~200+ (DRAM) + 25; OoO overlaps: cycles ≈ load
+	// completion (retire is in order behind the load).
+	if st.Cycles > 300 {
+		t.Fatalf("cycles %d: ALUs appear serialised behind the load", st.Cycles)
+	}
+	if st.AvgLoadLatency() < 100 {
+		t.Fatalf("cold load latency %.0f too small", st.AvgLoadLatency())
+	}
+}
+
+func TestROBLimitsOverlap(t *testing.T) {
+	// Two cold loads to different lines separated by more than ROB
+	// entries cannot overlap; closer than ROB they can.
+	mk := func(gap int) uint64 {
+		uops := []Uop{{Class: isa.Load, Dep1: -1, Dep2: -1, ActiveLanes: 1, Accesses: []uint64{1 << 30}}}
+		uops = append(uops, alus(gap, false)...)
+		uops = append(uops, Uop{Class: isa.Load, Dep1: -1, Dep2: -1, ActiveLanes: 1, Accesses: []uint64{1<<30 + 4096}})
+		c := NewCore(testCfg())
+		st := c.Run(testMem(), uops)
+		return st.Cycles
+	}
+	near, far := mk(10), mk(200) // ROB=64
+	if far <= near+100 {
+		t.Fatalf("ROB occupancy not limiting: near=%d far=%d", near, far)
+	}
+}
+
+func TestBranchMispredictRedirect(t *testing.T) {
+	// Pseudo-random branch outcomes defeat both predictors (a simple
+	// alternating pattern would be learned by the global history).
+	n := 200
+	uops := make([]Uop, n)
+	x := uint32(0x9e3779b9)
+	for i := range uops {
+		x = x*1664525 + 1013904223
+		uops[i] = Uop{Class: isa.Branch, Dep1: -1, Dep2: -1, ActiveLanes: 1, PC: 0x40, Taken: x&0x10000 != 0}
+	}
+	c := NewCore(testCfg())
+	st := c.Run(testMem(), uops)
+	if st.Branches != uint64(n) {
+		t.Fatalf("branches %d", st.Branches)
+	}
+	if st.Mispredicts < uint64(n)/4 {
+		t.Fatalf("alternating pattern mispredicts %d, expected many", st.Mispredicts)
+	}
+	// A well-predicted stream must be much faster.
+	for i := range uops {
+		uops[i].Taken = true
+	}
+	c2 := NewCore(testCfg())
+	st2 := c2.Run(testMem(), uops)
+	if st2.Cycles >= st.Cycles {
+		t.Fatalf("predicted branches not faster: %d vs %d", st2.Cycles, st.Cycles)
+	}
+}
+
+func TestLoopPredictorLearnsTripCount(t *testing.T) {
+	lp := NewLoopPredictor(6)
+	pc := uint64(0x100)
+	// Train: trip count 20, three instances.
+	for inst := 0; inst < 3; inst++ {
+		for i := 0; i < 19; i++ {
+			lp.Update(pc, true)
+		}
+		lp.Update(pc, false)
+	}
+	// Now it should predict the whole fourth instance exactly.
+	for i := 0; i < 19; i++ {
+		pred, conf := lp.Predict(pc)
+		if !conf || !pred {
+			t.Fatalf("iteration %d: pred=%v conf=%v", i, pred, conf)
+		}
+		lp.Update(pc, true)
+	}
+	pred, conf := lp.Predict(pc)
+	if !conf || pred {
+		t.Fatalf("exit iteration: pred=%v conf=%v, want not-taken with confidence", pred, conf)
+	}
+}
+
+func TestSubBatchInterleavingTokens(t *testing.T) {
+	cfg := testCfg()
+	cfg.Lanes = 8
+	c := NewCore(cfg)
+	uops := []Uop{{Class: isa.IAlu, Dep1: -1, Dep2: -1, ActiveLanes: 32, Mask: (1 << 32) - 1}}
+	st := c.Run(testMem(), uops)
+	if st.IssueSlots != 4 {
+		t.Fatalf("32 lanes over 8 = %d tokens, want 4", st.IssueSlots)
+	}
+	if st.ScalarOps != 32 || st.Uops != 1 {
+		t.Fatalf("op accounting: scalar=%d uops=%d", st.ScalarOps, st.Uops)
+	}
+}
+
+func TestMajorityVoting(t *testing.T) {
+	cfg := testCfg()
+	cfg.MajorityVote = true
+	c := NewCore(cfg)
+	// 3 of 4 lanes taken: majority says taken; one lane flushes.
+	uops := []Uop{{
+		Class: isa.Branch, Dep1: -1, Dep2: -1,
+		ActiveLanes: 4, Mask: 0xF, TakenMask: 0x7, PC: 0x200,
+	}}
+	st := c.Run(testMem(), uops)
+	if st.FlushedLanes != 1 {
+		t.Fatalf("flushed lanes %d, want 1", st.FlushedLanes)
+	}
+
+	// Lane-0 policy with lane 0 in the minority direction flushes 3.
+	cfg.MajorityVote = false
+	c2 := NewCore(cfg)
+	uops[0].TakenMask = 0x8 // only lane 3 taken; lane 0 not taken -> outcome false
+	st2 := c2.Run(testMem(), uops)
+	if st2.FlushedLanes != 1 {
+		t.Fatalf("lane-0 outcome flushes %d", st2.FlushedLanes)
+	}
+	uops[0].TakenMask = 0xE // lanes 1-3 taken, lane 0 not: outcome false, flush 3
+	c3 := NewCore(cfg)
+	st3 := c3.Run(testMem(), uops)
+	if st3.FlushedLanes != 3 {
+		t.Fatalf("lane-0 flushes %d, want 3", st3.FlushedLanes)
+	}
+}
+
+func TestInOrderIssueSerialises(t *testing.T) {
+	// Two independent load+use pairs: an OoO core overlaps both cold
+	// misses; an in-order core cannot issue the second load past the
+	// first stalled use, so the misses serialise end to end.
+	uops := []Uop{
+		{Class: isa.Load, Dep1: -1, Dep2: -1, ActiveLanes: 1, Accesses: []uint64{1 << 30}},
+		{Class: isa.IAlu, Dep1: 0, Dep2: -1, ActiveLanes: 1},
+		{Class: isa.Load, Dep1: -1, Dep2: -1, ActiveLanes: 1, Accesses: []uint64{1<<30 + 8192}},
+		{Class: isa.IAlu, Dep1: 2, Dep2: -1, ActiveLanes: 1},
+	}
+
+	cfg := testCfg()
+	cfg.InOrder = true
+	cfg.NoSpeculation = true
+	st := NewCore(cfg).Run(testMem(), uops)
+	ooo := NewCore(testCfg()).Run(testMem(), uops)
+	if st.Cycles <= ooo.Cycles+20 {
+		t.Fatalf("in-order (%d) not meaningfully slower than OoO (%d)", st.Cycles, ooo.Cycles)
+	}
+}
+
+func TestSMTPartitionedROB(t *testing.T) {
+	cfg := testCfg()
+	cfg.ROBPerThread = 8
+	c := NewCore(cfg)
+	// Two threads, interleaved; thread 0 has a cold load then filler.
+	var uops []Uop
+	for i := 0; i < 60; i++ {
+		u := Uop{Class: isa.IAlu, Dep1: -1, Dep2: -1, ActiveLanes: 1, Thread: i % 2}
+		if i == 0 {
+			u = Uop{Class: isa.Load, Dep1: -1, Dep2: -1, ActiveLanes: 1, Thread: 0, Accesses: []uint64{1 << 30}}
+		}
+		uops = append(uops, u)
+	}
+	st := c.Run(testMem(), uops)
+	if st.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func TestStoresOffCriticalPath(t *testing.T) {
+	c := NewCore(testCfg())
+	uops := []Uop{{Class: isa.Store, Dep1: -1, Dep2: -1, ActiveLanes: 1, Accesses: []uint64{1 << 30}}}
+	uops = append(uops, alus(20, false)...)
+	st := c.Run(testMem(), uops)
+	if st.Cycles > 60 {
+		t.Fatalf("store miss blocked retirement: %d cycles", st.Cycles)
+	}
+}
+
+func TestAccumulate(t *testing.T) {
+	c := NewCore(testCfg())
+	ms := testMem()
+	a := c.Run(ms, alus(50, false))
+	b := c.Run(ms, alus(50, false))
+	var total Stats
+	total.Accumulate(&a)
+	total.Accumulate(&b)
+	if total.Uops != 100 || total.Cycles != a.Cycles+b.Cycles {
+		t.Fatalf("accumulate wrong: %d uops %d cycles", total.Uops, total.Cycles)
+	}
+}
+
+// Property: cycle count is monotone in stream length and at least
+// len/issueWidth.
+func TestQuickCyclesMonotone(t *testing.T) {
+	f := func(n uint8) bool {
+		a := int(n%100) + 1
+		c1 := NewCore(testCfg()).Run(testMem(), alus(a, false))
+		c2 := NewCore(testCfg()).Run(testMem(), alus(a+10, false))
+		return c2.Cycles >= c1.Cycles && c1.Cycles >= uint64(a/4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictorTrains(t *testing.T) {
+	p := NewPredictor(10)
+	pc := uint64(0x80)
+	// Enough updates for the history register to saturate (constant
+	// index) and the counter to train.
+	for i := 0; i < 20; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("predictor did not learn a strongly taken branch")
+	}
+}
+
+func TestSyscallLatencyCharged(t *testing.T) {
+	cfg := testCfg()
+	fast := NewCore(cfg).Run(testMem(), alus(5, true))
+	uops := append([]Uop{{Class: isa.Syscall, Dep1: -1, Dep2: -1, ActiveLanes: 1}}, alus(5, true)...)
+	uops[1].Dep1 = 0 // first ALU waits for the syscall
+	slow := NewCore(cfg).Run(testMem(), uops)
+	if slow.Cycles < fast.Cycles+cfg.SyscallLat/2 {
+		t.Fatalf("syscall latency not on critical path: %d vs %d", slow.Cycles, fast.Cycles)
+	}
+}
+
+func TestFenceOrdersInOrderCore(t *testing.T) {
+	cfg := testCfg()
+	cfg.InOrder = true
+	uops := []Uop{
+		{Class: isa.Load, Dep1: -1, Dep2: -1, ActiveLanes: 1, Accesses: []uint64{1 << 30}},
+		{Class: isa.Fence, Dep1: 0, Dep2: -1, ActiveLanes: 1},
+		{Class: isa.IAlu, Dep1: -1, Dep2: -1, ActiveLanes: 1},
+	}
+	st := NewCore(cfg).Run(testMem(), uops)
+	if st.Cycles < 150 {
+		t.Fatalf("fence did not order behind the cold load: %d cycles", st.Cycles)
+	}
+}
+
+func TestConfigSeconds(t *testing.T) {
+	cfg := testCfg() // 2.5 GHz
+	if s := cfg.Seconds(2_500_000_000); s < 0.99 || s > 1.01 {
+		t.Fatalf("2.5e9 cycles at 2.5GHz = %v s", s)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	st := Stats{Cycles: 100, Uops: 50, LoadCount: 4, LoadLatSum: 100}
+	if st.IPC() != 0.5 || st.AvgLoadLatency() != 25 {
+		t.Fatalf("helpers wrong: %v %v", st.IPC(), st.AvgLoadLatency())
+	}
+	var zero Stats
+	if zero.IPC() != 0 || zero.AvgLoadLatency() != 0 {
+		t.Fatal("zero stats should not divide by zero")
+	}
+}

@@ -1,0 +1,197 @@
+package queuesim
+
+import "simr/internal/stats"
+
+// ComposePostConfig parameterises the compose-post path of the
+// social-network graph (paper Figure 3): the request fans out from the
+// Post orchestrator to UniqueID, URL-Shorten, Text and UserTag in
+// parallel, joins, persists through Post storage and finally writes
+// through the cache tier. Times in milliseconds.
+type ComposePostConfig struct {
+	QPS     float64
+	Seconds float64
+	Warmup  float64
+	RPU     bool
+	// BatchSize/BatchTimeout for the RPU orchestrator tier.
+	BatchSize    int
+	BatchTimeout float64
+	// Per-tier demands.
+	WebDemand    float64
+	OrchDemand   float64 // post orchestrator (join point)
+	UniqueID     float64
+	URLShorten   float64
+	TextDemand   float64
+	UserTag      float64
+	StorageWrite float64
+	CacheWrite   float64
+	NetHop       float64
+	Cores        int
+	Seed         int64
+}
+
+// DefaultComposePost returns a calibrated compose-post scenario whose
+// CPU system saturates in the same regime as the Figure 22 study.
+func DefaultComposePost() ComposePostConfig {
+	return ComposePostConfig{
+		QPS:          4000,
+		Seconds:      4,
+		Warmup:       1,
+		BatchSize:    32,
+		BatchTimeout: 1.0,
+		WebDemand:    0.25,
+		OrchDemand:   1.2,
+		UniqueID:     0.15,
+		URLShorten:   0.25,
+		TextDemand:   0.8,
+		UserTag:      0.4,
+		StorageWrite: 1.0,
+		CacheWrite:   0.05,
+		NetHop:       0.06,
+		Cores:        40,
+		Seed:         1,
+	}
+}
+
+// RunComposePost simulates the compose-post fan-out/join path and
+// returns latency metrics. In RPU mode the orchestrator tier batches
+// requests; the four nanoservice RPCs are issued per batch and the
+// batch joins when its slowest leg returns (the fan-out analogue of
+// reconvergence waiting — the motivation for batching the nanoservices
+// themselves, which the 5x-capacity tiers model).
+func RunComposePost(cfg ComposePostConfig) *Metrics {
+	sim := NewSim(cfg.Seed)
+	m := &Metrics{Offered: cfg.QPS, Latency: stats.NewSample(int(cfg.QPS * cfg.Seconds))}
+
+	lat := 1.0
+	capMul := 1
+	if cfg.RPU {
+		lat = 1.2
+		capMul = 5
+	}
+	web := NewStation(sim, "web", cfg.Cores*capMul)
+	orchServers := cfg.Cores
+	if cfg.RPU {
+		orchServers = int(float64(cfg.Cores)*5*1.2/float64(cfg.BatchSize) + 0.999)
+	}
+	orch := NewStation(sim, "post-orch", orchServers)
+	uniq := NewStation(sim, "uniqueid", cfg.Cores/4*capMul)
+	urls := NewStation(sim, "urlshort", cfg.Cores/4*capMul)
+	text := NewStation(sim, "post-text", cfg.Cores/2*capMul)
+	tags := NewStation(sim, "usertag", cfg.Cores/4*capMul)
+	store := NewStation(sim, "storage", Inf)
+	cache := NewStation(sim, "memcached", cfg.Cores/4*capMul)
+
+	warmupMs := cfg.Warmup * 1000
+	endMs := cfg.Seconds * 1000
+
+	finish := func(arrive float64) {
+		if arrive >= warmupMs && sim.Now() <= endMs {
+			m.Completed++
+			m.Latency.Add(sim.Now() - arrive)
+		}
+	}
+
+	// fanout runs the four nanoservice legs and calls join when the
+	// slowest returns.
+	fanout := func(join func()) {
+		remaining := 4
+		leg := func(st *Station, demand float64) {
+			sim.At(cfg.NetHop, func() {
+				st.Submit(sim.Jitter(demand)*lat, func() {
+					sim.At(cfg.NetHop, func() {
+						remaining--
+						if remaining == 0 {
+							join()
+						}
+					})
+				})
+			})
+		}
+		leg(uniq, cfg.UniqueID)
+		leg(urls, cfg.URLShorten)
+		leg(text, cfg.TextDemand)
+		leg(tags, cfg.UserTag)
+	}
+
+	persist := func(done func()) {
+		store.Submit(cfg.StorageWrite, func() {
+			cache.Submit(sim.Jitter(cfg.CacheWrite)*lat, done)
+		})
+	}
+
+	cpuPath := func(arrive float64) {
+		web.Submit(sim.Jitter(cfg.WebDemand), func() {
+			sim.At(cfg.NetHop, func() {
+				orch.Submit(sim.Jitter(cfg.OrchDemand), func() {
+					fanout(func() {
+						persist(func() { finish(arrive) })
+					})
+				})
+			})
+		})
+	}
+
+	// RPU orchestrator batching.
+	var pending []float64
+	var timer bool
+	launch := func(b []float64) {
+		m.Batches++
+		m.AvgBatchFill += float64(len(b))
+		orch.Submit(sim.Jitter(cfg.OrchDemand)*lat, func() {
+			fanout(func() {
+				persist(func() {
+					for _, a := range b {
+						finish(a)
+					}
+				})
+			})
+		})
+	}
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		b := pending
+		pending = nil
+		launch(b)
+	}
+	rpuPath := func(arrive float64) {
+		web.Submit(sim.Jitter(cfg.WebDemand)*lat, func() {
+			pending = append(pending, arrive)
+			if len(pending) >= cfg.BatchSize {
+				flush()
+				return
+			}
+			if !timer {
+				timer = true
+				sim.At(cfg.BatchTimeout, func() {
+					timer = false
+					flush()
+				})
+			}
+		})
+	}
+
+	interArrival := 1000 / cfg.QPS
+	var arrive func()
+	arrive = func() {
+		if sim.Now() >= endMs {
+			return
+		}
+		a := sim.Now()
+		if cfg.RPU {
+			rpuPath(a)
+		} else {
+			cpuPath(a)
+		}
+		sim.At(sim.Exp(interArrival), arrive)
+	}
+	sim.At(sim.Exp(interArrival), arrive)
+	sim.Run(endMs + 200)
+
+	if m.Batches > 0 {
+		m.AvgBatchFill /= float64(m.Batches)
+	}
+	m.UserUtil = orch.Utilization()
+	return m
+}

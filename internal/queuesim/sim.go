@@ -1,0 +1,155 @@
+// Package queuesim is a discrete-event microservice-interaction
+// simulator in the spirit of uqsim, used for the paper's system-level
+// evaluation (Figure 22): Poisson request arrivals flow through the
+// social-network path WebServer → User → McRouter → Memcached →
+// Storage, with multi-server FIFO stations, network hops, RPU batch
+// formation, reconvergence waiting and the §III-B5 batch-splitting
+// technique.
+package queuesim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the event loop.
+type Sim struct {
+	now float64
+	pq  eventHeap
+	seq uint64
+	Rng *rand.Rand
+}
+
+// NewSim creates a simulator with the given random seed.
+func NewSim(seed int64) *Sim {
+	return &Sim{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulation time (milliseconds).
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn to run after delay.
+func (s *Sim) At(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.pq, event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Run processes events until the queue empties or time exceeds until.
+func (s *Sim) Run(until float64) {
+	for s.pq.Len() > 0 {
+		e := heap.Pop(&s.pq).(event)
+		if e.at > until {
+			s.now = until
+			return
+		}
+		s.now = e.at
+		e.fn()
+	}
+}
+
+// Exp draws an exponential sample with the given mean.
+func (s *Sim) Exp(mean float64) float64 {
+	return s.Rng.ExpFloat64() * mean
+}
+
+// Station is a multi-server FIFO service station. Work items occupy one
+// server for their service demand and then invoke their completion.
+type Station struct {
+	sim     *Sim
+	Name    string
+	Servers int
+	busy    int
+	queue   []work
+	// Busy-time accounting for utilisation reporting.
+	busyTime   float64
+	lastChange float64
+}
+
+type work struct {
+	demand float64
+	done   func()
+}
+
+// NewStation creates a station with c servers.
+func NewStation(sim *Sim, name string, c int) *Station {
+	return &Station{sim: sim, Name: name, Servers: c}
+}
+
+// Submit enqueues a work item requiring demand service time; done runs
+// when service completes.
+func (st *Station) Submit(demand float64, done func()) {
+	st.queue = append(st.queue, work{demand: demand, done: done})
+	st.dispatch()
+}
+
+func (st *Station) dispatch() {
+	for st.busy < st.Servers && len(st.queue) > 0 {
+		w := st.queue[0]
+		st.queue = st.queue[1:]
+		st.account()
+		st.busy++
+		st.sim.At(w.demand, func() {
+			st.account()
+			st.busy--
+			if w.done != nil {
+				w.done()
+			}
+			st.dispatch()
+		})
+	}
+}
+
+func (st *Station) account() {
+	st.busyTime += float64(st.busy) * (st.sim.now - st.lastChange)
+	st.lastChange = st.sim.now
+}
+
+// Utilization returns average busy servers / servers over the run.
+func (st *Station) Utilization() float64 {
+	if st.sim.now == 0 || st.Servers == 0 {
+		return 0
+	}
+	return st.busyTime / (st.sim.now * float64(st.Servers))
+}
+
+// QueueLen returns the instantaneous queue length.
+func (st *Station) QueueLen() int { return len(st.queue) }
+
+// Jitter returns a mildly noisy service demand (uniform ±20 %),
+// avoiding the determinism artifacts of fixed service times.
+func (s *Sim) Jitter(mean float64) float64 {
+	return mean * (0.8 + 0.4*s.Rng.Float64())
+}
+
+// Inf is a server count that never queues.
+const Inf = math.MaxInt32

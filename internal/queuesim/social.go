@@ -1,0 +1,338 @@
+package queuesim
+
+import "simr/internal/stats"
+
+// Config parameterises the Figure 22 end-to-end scenario: the User
+// microservice path WebServer → User → McRouter → Memcached → Storage
+// on three 40-core server machines (CPU) or their equal-power RPU
+// replacements (5x throughput, 1.2x service latency, batch width 32).
+// All times are in milliseconds.
+type Config struct {
+	// QPS is the offered Poisson load (requests per second).
+	QPS float64
+	// Seconds is the simulated wall time.
+	Seconds float64
+	// Warmup discards requests arriving before this time (seconds).
+	Warmup float64
+	// RPU selects the RPU-based system; Split additionally enables
+	// batch splitting on the memcached-miss divergence.
+	RPU   bool
+	Split bool
+	// BatchSize and BatchTimeout control RPU batch formation.
+	BatchSize    int
+	BatchTimeout float64
+	// BatchAtWebTier forms batches before web/TCP processing. The
+	// default (false) batches at the entry of the logic tier instead,
+	// the paper's §VI-H mitigation: acknowledgements return to clients
+	// immediately so batching never looks like congestion to TCP.
+	BatchAtWebTier bool
+	// HitRate is the memcached hit probability (paper: 0.9).
+	HitRate float64
+	// Demands: per-request service occupancy per tier. WebDemand and
+	// the User phases are calibrated so the CPU system saturates near
+	// the paper's 15 kQPS; the 100/20/25/1000/60 µs figures from §V-B
+	// are the no-load latency floors of the respective hops.
+	WebDemand       float64
+	UserPhase1      float64
+	UserPhase2      float64
+	McRouterDemand  float64
+	MemcachedDemand float64
+	StorageLatency  float64
+	NetHop          float64
+	// Cores per machine (3 machines: web, user, cache tier).
+	Cores int
+	// Seed for the random streams.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's §V-B setup. The per-request User
+// demand (2.4 ms split over two phases) is the calibration constant
+// that reproduces uqsim's ≈15 kQPS CPU saturation on 3×40 cores; the
+// microsecond-scale figures from the paper appear as the fixed network
+// and cache-tier latencies.
+func DefaultConfig() Config {
+	return Config{
+		QPS:             5000,
+		Seconds:         4,
+		Warmup:          1,
+		BatchSize:       32,
+		BatchTimeout:    1.0, // 1 ms formation timeout
+		HitRate:         0.9,
+		WebDemand:       0.25,
+		UserPhase1:      1.5,
+		UserPhase2:      0.9,
+		McRouterDemand:  0.02,
+		MemcachedDemand: 0.025,
+		StorageLatency:  1.0,
+		NetHop:          0.06,
+		Cores:           40,
+		Seed:            1,
+	}
+}
+
+// Metrics is the outcome of one load point.
+type Metrics struct {
+	Offered   float64
+	Completed int
+	// Latency samples end-to-end request latency in milliseconds.
+	Latency *stats.Sample
+	// UserUtil is the bottleneck (User tier) utilisation.
+	UserUtil float64
+	// Batches and AvgBatchFill describe RPU batch formation.
+	Batches      int
+	AvgBatchFill float64
+	// SplitBatches counts batches that split on the miss divergence.
+	SplitBatches int
+}
+
+// Throughput returns completed requests per second of measured time.
+func (m *Metrics) Throughput(measured float64) float64 {
+	if measured <= 0 {
+		return 0
+	}
+	return float64(m.Completed) / measured
+}
+
+// Saturated reports whether the system failed to keep up with offered
+// load (tail blow-up heuristic: p99 over 10x the unloaded latency, or
+// completion under 95 % of offered).
+func (m *Metrics) Saturated(baselineP99 float64) bool {
+	if m.Latency.Len() == 0 {
+		return true
+	}
+	return m.Latency.Percentile(99) > 10*baselineP99
+}
+
+type request struct {
+	arrive  float64
+	hit     bool
+	webDone bool
+}
+
+// Run simulates one load point and returns its metrics.
+func Run(cfg Config) *Metrics {
+	sim := NewSim(cfg.Seed)
+	m := &Metrics{Offered: cfg.QPS, Latency: stats.NewSample(int(cfg.QPS * cfg.Seconds))}
+
+	// Capacity: the RPU system consumes the same power and delivers 5x
+	// the per-tier throughput at 1.2x service latency (paper §V-B). At
+	// the User tier this arrives via 32-wide batches; the thin tiers
+	// are modelled as 5x-capacity stations.
+	lat := 1.0
+	capMul := 1
+	if cfg.RPU {
+		lat = 1.2
+		capMul = 5
+	}
+	web := NewStation(sim, "web", cfg.Cores*capMul)
+	// One machine of RPU cores runs batches: capacity chosen so that
+	// batch throughput is 5x the CPU tier's.
+	userServers := cfg.Cores
+	if cfg.RPU {
+		// cores × 5x × 1.2 (occupancy per batch) / 32 (requests/batch)
+		userServers = int(float64(cfg.Cores)*5*1.2/float64(cfg.BatchSize) + 0.999)
+	}
+	user := NewStation(sim, "user", userServers)
+	mcrouter := NewStation(sim, "mcrouter", cfg.Cores/2*capMul)
+	memcached := NewStation(sim, "memcached", cfg.Cores/2*capMul)
+	storage := NewStation(sim, "storage", Inf)
+
+	warmupMs := cfg.Warmup * 1000
+	endMs := cfg.Seconds * 1000
+
+	finish := func(r *request) {
+		if r.arrive >= warmupMs && sim.Now() <= endMs {
+			m.Completed++
+			m.Latency.Add(sim.Now() - r.arrive)
+		}
+	}
+
+	// --- CPU per-request path ---
+	var cpuPath func(r *request)
+	cpuPath = func(r *request) {
+		web.Submit(sim.Jitter(cfg.WebDemand), func() {
+			sim.At(cfg.NetHop, func() {
+				user.Submit(sim.Jitter(cfg.UserPhase1), func() {
+					sim.At(cfg.NetHop, func() {
+						mcrouter.Submit(sim.Jitter(cfg.McRouterDemand), func() {
+							memcached.Submit(sim.Jitter(cfg.MemcachedDemand), func() {
+								after := func() {
+									sim.At(cfg.NetHop, func() {
+										user.Submit(sim.Jitter(cfg.UserPhase2), func() {
+											sim.At(cfg.NetHop, func() { finish(r) })
+										})
+									})
+								}
+								if r.hit {
+									after()
+								} else {
+									storage.Submit(cfg.StorageLatency, after)
+								}
+							})
+						})
+					})
+				})
+			})
+		})
+	}
+
+	// --- RPU batched path ---
+	var pending []*request
+	var batchTimer bool
+	var launch func(batch []*request)
+
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		b := pending
+		pending = nil
+		launch(b)
+	}
+
+	launch = func(b []*request) {
+		m.Batches++
+		m.AvgBatchFill += float64(len(b))
+		enterLogic := func(next func()) {
+			if cfg.BatchAtWebTier {
+				// The batch itself crosses the web tier (§VI-H warns
+				// this interferes with TCP but it is cheaper).
+				web.Submit(sim.Jitter(cfg.WebDemand)*lat, func() {
+					sim.At(cfg.NetHop, next)
+				})
+				return
+			}
+			// Logic-tier batching: web processing already happened per
+			// request; the batch enters the User tier directly.
+			sim.At(cfg.NetHop, next)
+		}
+		enterLogic(func() {
+			{
+				user.Submit(sim.Jitter(cfg.UserPhase1)*lat, func() {
+					sim.At(cfg.NetHop, func() {
+						// Batched cache-tier RPC for the whole batch.
+						mcrouter.Submit(sim.Jitter(cfg.McRouterDemand)*lat, func() {
+							memcached.Submit(sim.Jitter(cfg.MemcachedDemand)*lat, func() {
+								var hits, misses []*request
+								for _, r := range b {
+									if r.hit {
+										hits = append(hits, r)
+									} else {
+										misses = append(misses, r)
+									}
+								}
+								phase2 := func(group []*request) {
+									if len(group) == 0 {
+										return
+									}
+									sim.At(cfg.NetHop, func() {
+										user.Submit(sim.Jitter(cfg.UserPhase2)*lat, func() {
+											sim.At(cfg.NetHop, func() {
+												for _, r := range group {
+													finish(r)
+												}
+											})
+										})
+									})
+								}
+								if len(misses) == 0 {
+									phase2(b)
+									return
+								}
+								if cfg.Split {
+									// §III-B5: split the batch; the hit
+									// sub-batch completes immediately and
+									// the blocked sub-batch is context-
+									// switched out, freeing the core
+									// during the storage round trip.
+									m.SplitBatches++
+									phase2(hits)
+									storage.Submit(cfg.StorageLatency, func() {
+										phase2(misses)
+									})
+								} else {
+									// Without splitting, the whole batch
+									// waits on-core at the reconvergence
+									// point for the storage round trip
+									// (context switching is batch-
+									// granular, and the batch cannot be
+									// descheduled mid-divergence).
+									sim.At(cfg.NetHop, func() {
+										user.Submit(cfg.StorageLatency+sim.Jitter(cfg.UserPhase2)*lat, func() {
+											sim.At(cfg.NetHop, func() {
+												for _, r := range b {
+													finish(r)
+												}
+											})
+										})
+									})
+								}
+							})
+						})
+					})
+				})
+			}
+		})
+	}
+
+	var rpuEnqueue func(r *request)
+	rpuEnqueue = func(r *request) {
+		if !cfg.BatchAtWebTier && !r.webDone {
+			// §VI-H: each request is acknowledged through the web tier
+			// individually before joining a batch at the logic tier.
+			r.webDone = true
+			web.Submit(sim.Jitter(cfg.WebDemand)*lat, func() {
+				rpuEnqueue(r)
+			})
+			return
+		}
+		pending = append(pending, r)
+		if len(pending) >= cfg.BatchSize {
+			flush()
+			return
+		}
+		if !batchTimer {
+			batchTimer = true
+			sim.At(cfg.BatchTimeout, func() {
+				batchTimer = false
+				flush()
+			})
+		}
+	}
+
+	// Arrival process.
+	interArrival := 1000 / cfg.QPS // ms
+	var arrive func()
+	arrive = func() {
+		if sim.Now() >= endMs {
+			return
+		}
+		r := &request{arrive: sim.Now(), hit: sim.Rng.Float64() < cfg.HitRate}
+		if cfg.RPU {
+			rpuEnqueue(r)
+		} else {
+			cpuPath(r)
+		}
+		sim.At(sim.Exp(interArrival), arrive)
+	}
+	sim.At(sim.Exp(interArrival), arrive)
+
+	// Allow in-flight requests to drain past the arrival horizon.
+	sim.Run(endMs + 200)
+	if m.Batches > 0 {
+		m.AvgBatchFill /= float64(m.Batches)
+	}
+	m.UserUtil = user.Utilization()
+	return m
+}
+
+// Sweep runs a QPS sweep and returns metrics per load point.
+func Sweep(base Config, qps []float64) []*Metrics {
+	out := make([]*Metrics, len(qps))
+	for i, q := range qps {
+		cfg := base
+		cfg.QPS = q
+		out[i] = Run(cfg)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package simt
+
+import (
+	"math/rand"
+	"testing"
+
+	"simr/internal/isa"
+)
+
+func benchTraces(b *testing.B, n int) ([][]isa.TraceOp, map[uint64]uint64) {
+	b.Helper()
+	bb := isa.NewProgram("bench")
+	bb.Loop(func(c *isa.Ctx) int { return 40 + int(c.Arg0(0)%16) }, func(bb *isa.Builder) {
+		bb.OpsChain(isa.IAlu, 4, 1)
+		bb.StackStore(24)
+		bb.If(func(c *isa.Ctx) bool { return c.Rand.Intn(4) == 0 },
+			func(bb *isa.Builder) { bb.Ops(isa.FAlu, 2) }, nil)
+	})
+	p := bb.Build()
+	if _, err := isa.Link(0x1000, p); err != nil {
+		b.Fatal(err)
+	}
+	traces := make([][]isa.TraceOp, n)
+	for i := range traces {
+		ctx := &isa.Ctx{
+			Arg:       []uint64{uint64(i)},
+			StackBase: 1 << 30,
+			Heap:      &bumpHeap{},
+			Rand:      rand.New(rand.NewSource(int64(i))),
+			TID:       i,
+		}
+		ops, err := isa.Execute(p, ctx, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		traces[i] = ops
+	}
+	return traces, p.BranchReconv()
+}
+
+func BenchmarkMinSPPC32(b *testing.B) {
+	traces, _ := benchTraces(b, 32)
+	scalar := 0
+	for _, tr := range traces {
+		scalar += len(tr)
+	}
+	b.SetBytes(int64(scalar))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMinSPPC(traces, 32, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIPDOM32(b *testing.B) {
+	traces, rec := benchTraces(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunIPDOM(traces, 32, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanBasics(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatal("empty mean not zero")
+	}
+	m.Add(2)
+	m.Add(4)
+	if m.Value() != 3 {
+		t.Fatalf("mean = %v", m.Value())
+	}
+	m.AddN(10, 2)
+	if m.Count() != 4 || m.Value() != (2+4+20)/4.0 {
+		t.Fatalf("weighted mean = %v count %d", m.Value(), m.Count())
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	s := NewSample(0)
+	for i := 100; i >= 1; i-- {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.Percentile(50); math.Abs(got-50.5) > 1 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := s.Percentile(99); got < 98 || got > 100 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if s.Max() != 100 {
+		t.Fatalf("max = %v", s.Max())
+	}
+	if math.Abs(s.Mean()-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample(4)
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should return zeros")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		s := NewSample(len(vals))
+		for _, v := range vals {
+			s.Add(v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := s.Percentile(pa), s.Percentile(pb)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		return va <= vb+1e-9 && va >= sorted[0]-1e-9 && vb <= sorted[len(sorted)-1]+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if g := GeoMean([]float64{-1, 0}); g != 0 {
+		t.Fatalf("geomean of non-positives = %v", g)
+	}
+	if g := GeoMean([]float64{5, -1}); math.Abs(g-5) > 1e-9 {
+		t.Fatalf("geomean skipping negatives = %v", g)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if h := HarmonicMean([]float64{1, 1}); math.Abs(h-1) > 1e-9 {
+		t.Fatalf("harmonic = %v", h)
+	}
+	if h := HarmonicMean([]float64{2, 6}); math.Abs(h-3) > 1e-9 {
+		t.Fatalf("harmonic = %v", h)
+	}
+	if h := HarmonicMean(nil); h != 0 {
+		t.Fatalf("empty harmonic = %v", h)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 1.0)
+	for i := 0; i < 20; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count() != 20 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Bucket(0) != 1 {
+		t.Fatalf("bucket 0 = %d", h.Bucket(0))
+	}
+	// Values >= 9 clamp into the last bucket.
+	if h.Bucket(9) != 11 {
+		t.Fatalf("last bucket = %d", h.Bucket(9))
+	}
+	h.Add(-5)
+	if h.Bucket(0) != 2 {
+		t.Fatal("negative not clamped to first bucket")
+	}
+}
+
+func TestHistogramInvalidShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid histogram")
+		}
+	}()
+	NewHistogram(0, 1)
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("ratio")
+	}
+	if Ratio(6, 0) != 0 {
+		t.Fatal("ratio by zero should be 0")
+	}
+}

@@ -1,0 +1,28 @@
+package uservices
+
+import (
+	"math/rand"
+	"testing"
+
+	"simr/internal/alloc"
+)
+
+func BenchmarkTraceMemcGet(b *testing.B) {
+	suite := NewSuite()
+	svc := suite.Get("memc")
+	reqs := svc.Generate(rand.New(rand.NewSource(1)), 1)
+	sg := alloc.NewStackGroup(0, 1, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		arena := alloc.NewArena(0, alloc.PolicySIMR, 32, 8)
+		if _, err := svc.Trace(&reqs[0], 0, sg.StackBase(0), arena); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewSuite()
+	}
+}

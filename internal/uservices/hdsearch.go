@@ -1,0 +1,151 @@
+package uservices
+
+import (
+	"math/rand"
+
+	"simr/internal/alloc"
+	"simr/internal/isa"
+)
+
+// newHDSearchMid builds the HDSearch middle tier (locality-sensitive
+// hashing front end). It contains the paper's speculative-reconvergence
+// case: a data-dependent branch whose taken side is much more
+// expensive (multi-probe LSH fallback) than the common fast path.
+func newHDSearchMid(g *alloc.Globals) *Service {
+	lshTables := g.Alloc(8 * 4096)
+	hp := hashFunc("hdsearch-mid.lsh", g.Alloc(64), 5)
+	mp := marshalFunc("hdsearch-mid.rpc", 28)
+
+	b := isa.NewProgram("hdsearch-mid.query")
+	parseLoop(b, 3)
+	b.Call(hp)
+	// Probe the LSH tables: each probe's bucket comes from the
+	// previous probe's hash (dependent); tables are cache resident.
+	chase(b, tableAddr(lshTables, 2048, 8), 4)
+	// One cold hop into the bucket directory.
+	chase(b, tableAddr(lshTables, 8*4096/8, 8), 1)
+	// Data-dependent fallback: ~25 % of requests take the expensive
+	// multi-probe path (5x the work of the fast path).
+	b.If(func(c *isa.Ctx) bool { return c.Arg0(2)%4 == 0 },
+		func(b *isa.Builder) {
+			b.LoopN(20, func(b *isa.Builder) {
+				b.LoadAt(8, zipfAddr(lshTables, 8*4096/8, 8, 512))
+				b.OpsChain(isa.IAlu, 3, 1)
+				b.Ops(isa.Simd, 2)
+				b.StackStore(48)
+			})
+		},
+		func(b *isa.Builder) {
+			b.LoopN(4, func(b *isa.Builder) {
+				b.Ops(isa.IAlu, 3)
+				b.StackStore(48)
+			})
+		})
+	// Fan out to leaves and merge.
+	b.LoopN(2, func(b *isa.Builder) { b.Call(mp) })
+	b.SyscallOp()
+	buf := b.Slot()
+	b.AllocTo(buf, func(*isa.Ctx) int { return 2 * 10 * 16 })
+	b.LoopIdx(func(*isa.Ctx) int { return 20 }, func(b *isa.Builder, idx int) {
+		b.LoadAt(8, slotSeq(buf, idx, 16))
+		b.OpsChain(isa.FAlu, 1, 1)
+		b.If(func(c *isa.Ctx) bool { return c.Rand.Intn(3) == 0 },
+			func(b *isa.Builder) { b.StackStore(56) }, nil)
+	})
+	b.SyscallOp()
+	query := b.Build()
+
+	return &Service{
+		Name:  "hdsearch-mid",
+		Group: "HDSearch",
+		APIs:  []string{"query"},
+		progs: map[string]*isa.Program{"query": query},
+		gen: func(r *rand.Rand) Request {
+			words := randIn(r, 2, 6)
+			probe := r.Uint64()
+			ab := words * 8
+			// The SIMR server predicts the multi-probe fallback from the
+			// query's hash quality and batches predicted-slow requests
+			// together (§III-B1 predicted-control-flow batching; the
+			// paper applies speculative reconvergence to the same
+			// branch).
+			if probe%4 == 0 {
+				ab += 1 << 12
+			}
+			return Request{
+				API:      "query",
+				ArgBytes: ab,
+				Args:     []uint64{0, uint64(words), probe},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}
+
+// newHDSearchLeaf builds the HDSearch leaf: SIMD distance computations
+// between the query vector and candidate vectors streamed from the
+// shared dataset, with per-candidate results staged in a private heap
+// buffer. Fully vectorised inner loops make the backend (not the
+// frontend) the CPU energy hot spot — the paper's 39 % frontend case —
+// and the large per-thread footprint forces batch-8 tuning on the RPU.
+func newHDSearchLeaf(g *alloc.Globals) *Service {
+	const vectors = 4096
+	const vecBytes = 256 // 64-dim float32
+	dataset := g.Alloc(vectors * vecBytes)
+
+	b := isa.NewProgram("hdsearch-leaf.knn")
+	parseLoop(b, 2)
+	temp := b.Slot()
+	b.AllocTo(temp, func(*isa.Ctx) int { return 8 << 10 }) // 8 KB staging
+	cand := b.Slot()
+	// Candidate scan: 48-80 candidates, 8 SIMD MACs over each vector.
+	b.LoopIdx(func(c *isa.Ctx) int { return 48 + int(c.Arg0(2)%32) }, func(b *isa.Builder, ci int) {
+		b.Eff(func(c *isa.Ctx) {
+			// Candidate lists share a popular head across queries.
+			n := c.Rand.Intn(vectors)
+			if c.Rand.Float64() < 0.3 {
+				n = c.Rand.Intn(64)
+			}
+			c.Slots[cand] = dataset + uint64(n)*vecBytes
+		})
+		b.LoopIdx(func(*isa.Ctx) int { return 8 }, func(b *isa.Builder, di int) {
+			b.LoadAt(8, slotSeq(cand, di, 32))
+			b.OpDeps(isa.Simd, 1, 0)
+			b.OpsChain(isa.Simd, 2, 1)
+		})
+		// Horizontal reduce + stage the distance in the private buffer.
+		b.OpsChain(isa.Simd, 2, 1)
+		b.Ops(isa.FAlu, 2)
+		b.StoreAt(8, slotSeq(temp, ci, 64))
+	})
+	// Top-K selection over the staged distances (revisits the private
+	// buffer; thrashes at batch 32).
+	b.LoopN(2, func(b *isa.Builder) {
+		b.LoopIdx(func(c *isa.Ctx) int { return 48 + int(c.Arg0(2)%32) }, func(b *isa.Builder, ci int) {
+			b.LoadAt(8, slotSeq(temp, ci, 64))
+			b.OpsChain(isa.FAlu, 1, 1)
+			b.If(func(c *isa.Ctx) bool { return c.Rand.Intn(6) == 0 },
+				func(b *isa.Builder) { b.StackStore(48) }, nil)
+		})
+	})
+	b.SyscallOp()
+	knn := b.Build()
+
+	return &Service{
+		Name:          "hdsearch-leaf",
+		Group:         "HDSearch",
+		APIs:          []string{"knn"},
+		TunedBatch:    8,
+		DataIntensive: true,
+		progs:         map[string]*isa.Program{"knn": knn},
+		gen: func(r *rand.Rand) Request {
+			words := randIn(r, 2, 6)
+			return Request{
+				API:      "knn",
+				ArgBytes: words * 8,
+				Args:     []uint64{0, uint64(words), r.Uint64()},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}

@@ -1,0 +1,117 @@
+package uservices
+
+import (
+	"math/rand"
+
+	"simr/internal/isa"
+)
+
+// argLen reads Args[1], the request's primary length parameter.
+func argLen(c *isa.Ctx) int { return int(c.Arg0(1)) }
+
+// hashFunc builds a small hash routine callee: a serial mixing chain
+// over the key, reading a shared s-box table (a broadcast access — all
+// threads read the same constants).
+func hashFunc(name string, sbox uint64, rounds int) *isa.Program {
+	b := isa.NewFunc(name)
+	b.StackStore(16) // spill the argument pointer
+	b.LoopN(rounds, func(b *isa.Builder) {
+		b.StackLoad(24) // key word from the local buffer
+		b.OpsChain(isa.IAlu, 3, 1)
+		b.LoadAt(8, func(c *isa.Ctx) uint64 { return sbox + 8*(c.SP%4) })
+		b.OpsChain(isa.IAlu, 2, 1)
+		b.StackStore(24)
+	})
+	b.StackLoad(16)
+	return b.Build()
+}
+
+// marshalFunc builds an RPC marshalling callee: reads locals from the
+// stack and packs them into a wire buffer on the stack (the
+// push/pop-heavy pattern that makes middle tiers up to 90 % stack
+// accesses).
+func marshalFunc(name string, words int) *isa.Program {
+	b := isa.NewFunc(name)
+	b.LoopN(words, func(b *isa.Builder) {
+		b.StackLoad(24)
+		b.Ops(isa.IAlu, 1)
+		b.StackStore(32)
+		b.StackLoad(48)
+		b.Ops(isa.IAlu, 1)
+		b.StackStore(56)
+	})
+	b.Op(isa.Syscall) // send
+	return b.Build()
+}
+
+// parseLoop emits the request-parsing prologue: recv syscall plus a
+// length-dependent tokenising loop over the argument bytes.
+func parseLoop(b *isa.Builder, perIter int) {
+	b.SyscallOp() // recv / epoll return
+	b.Loop(argLen, func(b *isa.Builder) {
+		b.StackLoad(32)
+		b.Ops(isa.IAlu, perIter)
+		b.StackStore(40)
+		b.StackStore(48)
+	})
+}
+
+// randIn returns a closure-friendly uniform integer in [lo, hi].
+func randIn(r *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// gshare of per-request divergent global address: picks a pseudo-random
+// slot in a shared table. Distinct threads draw distinct slots, so the
+// MCU sees a divergent pattern — inter-request sharing exists at the
+// table level, not the element level.
+func tableAddr(base uint64, entries, stride int) isa.AddrFn {
+	return func(c *isa.Ctx) uint64 {
+		return base + uint64(c.Rand.Intn(entries))*uint64(stride)
+	}
+}
+
+// constAddr is a fixed shared address: every thread reads the same
+// word (metadata, config, counters) and the MCU broadcasts it.
+func constAddr(addr uint64) isa.AddrFn {
+	return func(*isa.Ctx) uint64 { return addr }
+}
+
+// zipfAddr returns a skewed table access: 90 % of lookups land in a
+// hot prefix of the table (which caches well), 10 % are uniform over
+// the whole table (cold misses) — the hit-rate skew real key-value and
+// dictionary workloads exhibit.
+func zipfAddr(base uint64, entries, stride, hot int) isa.AddrFn {
+	return func(c *isa.Ctx) uint64 {
+		if c.Rand.Float64() < 0.9 {
+			return base + uint64(c.Rand.Intn(hot))*uint64(stride)
+		}
+		return base + uint64(c.Rand.Intn(entries))*uint64(stride)
+	}
+}
+
+// slotSeq returns addr = Slots[base] + Slots[idx]*stride, the
+// private-array walking pattern (heap: divergent across threads;
+// SIMR-aware allocation spreads the streams over L1 banks).
+func slotSeq(baseSlot, idxSlot, stride int) isa.AddrFn {
+	return func(c *isa.Ctx) uint64 {
+		return c.Slots[baseSlot] + c.Slots[idxSlot]*uint64(stride)
+	}
+}
+
+// chase emits an unrolled dependent-load chain: each load's address
+// comes from the previous load (hash-chain, tree and session-list
+// walks). These chains bound a single CPU thread's IPC by memory
+// latency — the dominant stall the paper reports for data center
+// services — while the RPU overlaps 32 independent chains per batch.
+func chase(b *isa.Builder, addr isa.AddrFn, hops int) {
+	for i := 0; i < hops; i++ {
+		// Each load depends on the op 3 back: the previous chase load
+		// through its two-op digest.
+		b.LoadAt(8, addr, 3)
+		b.OpsChain(isa.IAlu, 2, 1)
+	}
+}

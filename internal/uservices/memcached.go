@@ -1,0 +1,244 @@
+package uservices
+
+import (
+	"math/rand"
+
+	"simr/internal/alloc"
+	"simr/internal/isa"
+)
+
+// newMcRouter builds the memcached routing proxy: parse the key,
+// compute a consistent hash, pick one of four destination pools and
+// forward the request. Almost pure integer + stack work, so its CPU
+// energy is dominated by the frontend and its SIMT efficiency is high
+// once requests are batched per API.
+func newMcRouter(g *alloc.Globals) *Service {
+	routeTable := g.Alloc(4 * 64) // four pool descriptors
+	const sessions = 1 << 14
+	sessionTable := g.Alloc(sessions * 64)
+	hp := hashFunc("mcrouter.hash", g.Alloc(64), 6)
+	mp := marshalFunc("mcrouter.fwd", 40)
+
+	b := isa.NewProgram("mcrouter.route")
+	parseLoop(b, 3)
+	b.Call(hp)
+	// Connection/session list walk: a dependent-load chain through a
+	// mostly-cold table — the stall pattern that keeps proxy IPC well
+	// below 1 on real hardware.
+	// The session list itself is small and cache-resident (uniform
+	// walk)...
+	chase(b, tableAddr(sessionTable, 512, 64), 5)
+	// ...but each request also resolves its connection descriptor via
+	// a short chain through the full, cold table: a compulsory DRAM
+	// walk every thread (and every lane) pays alike.
+	chase(b, tableAddr(sessionTable, sessions, 64), 2)
+	b.StackStore(40)
+	// Destination select: a short data-dependent ladder over the hash.
+	dest := func(k uint64) func(*isa.Ctx) bool {
+		return func(c *isa.Ctx) bool { return c.Arg0(2)%4 == k }
+	}
+	b.If(dest(0), func(b *isa.Builder) {
+		b.LoadAt(8, constAddr(routeTable))
+		b.Ops(isa.IAlu, 3)
+	}, func(b *isa.Builder) {
+		b.If(dest(1), func(b *isa.Builder) {
+			b.LoadAt(8, constAddr(routeTable+64))
+			b.Ops(isa.IAlu, 3)
+		}, func(b *isa.Builder) {
+			b.If(dest(2), func(b *isa.Builder) {
+				b.LoadAt(8, constAddr(routeTable+128))
+				b.Ops(isa.IAlu, 3)
+			}, func(b *isa.Builder) {
+				b.LoadAt(8, constAddr(routeTable+192))
+				b.Ops(isa.IAlu, 3)
+			})
+		})
+	})
+	// Forward: copy the request into the wire buffer.
+	b.LoopN(20, func(b *isa.Builder) {
+		b.StackLoad(48)
+		b.Ops(isa.IAlu, 2)
+		b.StackStore(56)
+	})
+	b.Call(mp)
+	b.SyscallOp()
+	route := b.Build()
+
+	return &Service{
+		Name:  "mcrouter",
+		Group: "Memcached",
+		APIs:  []string{"route"},
+		progs: map[string]*isa.Program{"route": route},
+		gen: func(r *rand.Rand) Request {
+			kl := randIn(r, 2, 5) // key words
+			return Request{
+				API:      "route",
+				ArgBytes: kl * 8,
+				Args:     []uint64{0, uint64(kl), r.Uint64()},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}
+
+// newMemc builds the in-memory cache engine with get and set APIs:
+// parse, hash, bucket probe, chain walk, then value copy (get) or
+// value write under a fine-grained bucket lock (set). Mixing get/set in
+// one batch serialises the paths, which is why per-API batching
+// roughly doubles memcached's SIMT efficiency in the paper.
+func newMemc(g *alloc.Globals) *Service {
+	const nBuckets = 1 << 13
+	buckets := g.Alloc(nBuckets * 64)
+	valueArena := g.Alloc(1 << 22)
+	statsWord := g.Alloc(64)
+	hp := hashFunc("memc.hash", g.Alloc(64), 4)
+
+	buildCommon := func(b *isa.Builder) int {
+		parseLoop(b, 2)
+		b.Call(hp)
+		bkt := b.Slot()
+		b.Eff(func(c *isa.Ctx) {
+			c.Slots[bkt] = buckets + uint64(c.Rand.Intn(nBuckets))*64
+		})
+		b.LoadAt(8, func(c *isa.Ctx) uint64 { return c.Slots[bkt] })
+		// Hash-chain walk: two dependent hops across item headers
+		// scattered through the cold value arena (compulsory misses for
+		// every thread), then a hot LRU-list touch.
+		chase(b, func(c *isa.Ctx) uint64 {
+			return valueArena + uint64(c.Rand.Intn(1<<14))*256
+		}, 2)
+		chase(b, func(c *isa.Ctx) uint64 {
+			return buckets + uint64(c.Rand.Intn(256))*64
+		}, 2)
+		return bkt
+	}
+
+	bg := isa.NewProgram("memc.get")
+	buildCommon(bg)
+	// Copy the value out: divergent reads from the shared value arena,
+	// coalescable writes to the response buffer on the stack.
+	vbase := bg.Slot()
+	bg.Eff(func(c *isa.Ctx) {
+		c.Slots[vbase] = valueRow(c, valueArena)
+	})
+	// memcpy-style wide copy: one 32-byte vector load per four words,
+	// staged through the response buffer on the stack.
+	bg.LoopIdx(func(c *isa.Ctx) int { return (int(c.Arg0(2)) + 3) / 4 }, func(b *isa.Builder, idx int) {
+		b.LoadAt(32, slotSeq(vbase, idx, 32))
+		b.Ops(isa.IAlu, 2)
+		b.StackStore(64, 1)
+		b.StackLoad(72)
+		b.StackStore(80)
+	})
+	bg.LoadAt(8, constAddr(statsWord)) // shared stats read: broadcast
+	bg.SyscallOp()
+	get := bg.Build()
+
+	bs := isa.NewProgram("memc.set")
+	bkt := buildCommon(bs)
+	// Fine-grained bucket lock, value write, unlock, stats bump.
+	bs.AtomicAt(8, func(c *isa.Ctx) uint64 { return c.Slots[bkt] + 56 })
+	vb := bs.Slot()
+	bs.Eff(func(c *isa.Ctx) {
+		c.Slots[vb] = valueRow(c, valueArena)
+	})
+	bs.LoopIdx(func(c *isa.Ctx) int { return (int(c.Arg0(2)) + 3) / 4 }, func(b *isa.Builder, idx int) {
+		b.StackLoad(64)
+		b.StackLoad(72)
+		b.StoreAt(32, slotSeq(vb, idx, 32), 1)
+	})
+	bs.AtomicAt(8, func(c *isa.Ctx) uint64 { return c.Slots[bkt] + 56 })
+	bs.AtomicAt(8, constAddr(statsWord+8))
+	bs.SyscallOp()
+	set := bs.Build()
+
+	return &Service{
+		Name:  "memc",
+		Group: "Memcached",
+		APIs:  []string{"get", "set"},
+		progs: map[string]*isa.Program{"get": get, "set": set},
+		gen: func(r *rand.Rand) Request {
+			// Value size correlates with the key class (keys of one
+			// namespace store similar objects), so the server's
+			// argument-size bucketing also groups value-copy loops.
+			kl := randIn(r, 1, 4)
+			vw := kl*10 + randIn(r, 0, 3)
+			if r.Float64() < 0.7 {
+				return Request{
+					API:      "get",
+					ArgBytes: kl * 8,
+					Args:     []uint64{0, uint64(kl), uint64(vw), r.Uint64()},
+					Seed:     r.Int63(),
+				}
+			}
+			return Request{
+				API:      "set",
+				ArgBytes: (kl + vw) * 8,
+				Args:     []uint64{1, uint64(kl), uint64(vw), r.Uint64()},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}
+
+// newMemcBackend builds the persistent store behind the cache: a
+// four-level index walk with data-dependent descent (pointer-chasing
+// loads on the critical path) followed by a value copy. Its divergence
+// is data-dependent, so batching policies recover less efficiency here.
+func newMemcBackend(g *alloc.Globals) *Service {
+	const nodes = 1 << 12
+	index := g.Alloc(nodes * 64)
+	valueLog := g.Alloc(1 << 22)
+
+	b := isa.NewProgram("memc-backend.lookup")
+	parseLoop(b, 2)
+	// Index walk: the upper levels stay cached (root pages), the two
+	// leaf levels are cold for every thread; all hops are dependent.
+	chase(b, tableAddr(index, 64, 64), 4)
+	chase(b, tableAddr(index, nodes, 64), 2)
+	b.LoopN(4, func(b *isa.Builder) {
+		b.OpsChain(isa.IAlu, 3, 1)
+		b.If(func(c *isa.Ctx) bool { return c.Rand.Intn(8) == 0 },
+			func(b *isa.Builder) { b.Ops(isa.IAlu, 2) },
+			func(b *isa.Builder) { b.Ops(isa.IAlu, 3); b.StackStore(48) })
+	})
+	// Value copy from the log.
+	vb := b.Slot()
+	b.Eff(func(c *isa.Ctx) {
+		c.Slots[vb] = valueRow(c, valueLog)
+	})
+	b.LoopIdx(func(c *isa.Ctx) int { return (int(c.Arg0(2)) + 3) / 4 }, func(bb *isa.Builder, idx int) {
+		bb.LoadAt(32, slotSeq(vb, idx, 32))
+		bb.StackStore(64, 1)
+		bb.StackStore(72)
+	})
+	b.SyscallOp()
+	lookup := b.Build()
+
+	return &Service{
+		Name:  "memc-backend",
+		Group: "Memcached",
+		APIs:  []string{"lookup"},
+		progs: map[string]*isa.Program{"lookup": lookup},
+		gen: func(r *rand.Rand) Request {
+			kl := randIn(r, 1, 4)
+			vw := kl*8 + randIn(r, 0, 4)
+			return Request{
+				API:      "lookup",
+				ArgBytes: kl * 8,
+				Args:     []uint64{0, uint64(kl), uint64(vw)},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}
+
+// valueRow picks the request's 256-byte value row in a shared arena
+// with a hot-set skew: most requests touch a small working set that
+// stays cached, the tail streams from DRAM.
+func valueRow(c *isa.Ctx, arena uint64) uint64 {
+	if c.Rand.Float64() < 0.9 {
+		return arena + uint64(c.Rand.Intn(192))*256
+	}
+	return arena + uint64(c.Rand.Intn(1<<14))*256
+}

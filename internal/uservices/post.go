@@ -1,0 +1,316 @@
+package uservices
+
+import (
+	"math/rand"
+
+	"simr/internal/alloc"
+	"simr/internal/isa"
+)
+
+// newPost builds the Post storage service with two very different
+// APIs: newPost (validate, persist, index — long) and getPostByUser
+// (index lookup, copy out — short). Naive batching mixes them and
+// serialises both paths, which is why the paper sees up to 4x SIMT
+// efficiency gains from per-API batching on the Post services. The
+// call-heavy structure makes up to 90 % of its accesses stack accesses.
+func newPost(g *alloc.Globals) *Service {
+	const posts = 1 << 12
+	postStore := g.Alloc(posts * 512)
+	userIndex := g.Alloc(1 << 16)
+	hp := hashFunc("post.hash", g.Alloc(64), 4)
+	vp := validateFunc("post.validate")
+	ip := marshalFunc("post.indexrpc", 24)
+
+	bn := isa.NewProgram("post.newPost")
+	parseLoop(bn, 3)
+	bn.Call(vp)
+	bn.Call(hp)
+	// Persist the post body.
+	slot := bn.Slot()
+	bn.Eff(func(c *isa.Ctx) {
+		c.Slots[slot] = postRow(c, postStore)
+	})
+	// Follower-graph permission walk before persisting: hot ACL rows
+	// plus one cold post-row header hop.
+	chase(bn, tableAddr(userIndex, 256, 64), 2)
+	chase(bn, func(c *isa.Ctx) uint64 { return postStore + uint64(c.Rand.Intn(1<<12))*512 }, 2)
+	bn.LoopIdx(func(c *isa.Ctx) int { return (16 + int(c.Arg0(1))*2) / 4 }, func(b *isa.Builder, idx int) {
+		b.StackLoad(40)
+		b.StackLoad(48)
+		b.Ops(isa.IAlu, 2)
+		b.StoreAt(32, slotSeq(slot, idx, 32), 1)
+		b.StackStore(56)
+	})
+	// Update the per-user index under a fine-grained lock.
+	bn.AtomicAt(8, zipfAddr(userIndex, 1<<10, 64, 64))
+	bn.LoopN(6, func(b *isa.Builder) {
+		b.StackLoad(48)
+		b.Ops(isa.IAlu, 3)
+		b.StackStore(56)
+	})
+	bn.AtomicAt(8, zipfAddr(userIndex, 1<<10, 64, 64))
+	bn.Call(ip)
+	// Response proto serialization: stack-to-stack packing.
+	bn.LoopN(12, func(b *isa.Builder) {
+		b.StackLoad(64)
+		b.Ops(isa.IAlu, 1)
+		b.StackStore(72)
+		b.StackStore(80)
+	})
+	bn.SyscallOp()
+	newPostP := bn.Build()
+
+	bg := isa.NewProgram("post.getPostByUser")
+	parseLoop(bg, 2)
+	bg.Call(hp)
+	// Timeline walk: dependent hops through the user index (hot) and
+	// one cold hop to the post header.
+	chase(bg, tableAddr(userIndex, 256, 64), 2)
+	chase(bg, func(c *isa.Ctx) uint64 {
+		return postStore + uint64(c.Rand.Intn(1<<12))*512
+	}, 1)
+	slot2 := bg.Slot()
+	bg.Eff(func(c *isa.Ctx) {
+		c.Slots[slot2] = postRow(c, postStore)
+	})
+	bg.LoopIdx(func(*isa.Ctx) int { return 4 }, func(b *isa.Builder, idx int) {
+		b.LoadAt(32, slotSeq(slot2, idx, 32))
+		b.StackStore(40, 1)
+		b.StackStore(48)
+		b.StackLoad(56)
+	})
+	// Response proto serialization.
+	bg.LoopN(10, func(b *isa.Builder) {
+		b.StackLoad(64)
+		b.Ops(isa.IAlu, 1)
+		b.StackStore(72)
+		b.StackStore(80)
+	})
+	bg.SyscallOp()
+	getP := bg.Build()
+
+	return &Service{
+		Name:  "post",
+		Group: "Post",
+		APIs:  []string{"newPost", "getPostByUser"},
+		progs: map[string]*isa.Program{"newPost": newPostP, "getPostByUser": getP},
+		gen: func(r *rand.Rand) Request {
+			if r.Float64() < 0.55 {
+				words := randIn(r, 4, 16)
+				return Request{
+					API:      "newPost",
+					ArgBytes: words * 8,
+					Args:     []uint64{0, uint64(words)},
+					Seed:     r.Int63(),
+				}
+			}
+			return Request{
+				API:      "getPostByUser",
+				ArgBytes: 16,
+				Args:     []uint64{1, 2},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}
+
+// validateFunc builds a content-validation callee: a scan over the
+// post body on the stack with a couple of cheap checks per word.
+func validateFunc(name string) *isa.Program {
+	b := isa.NewFunc(name)
+	b.Loop(argLen, func(b *isa.Builder) {
+		b.StackLoad(24)
+		b.OpsChain(isa.IAlu, 3, 1)
+		b.If(func(c *isa.Ctx) bool { return c.Rand.Intn(64) == 0 },
+			func(b *isa.Builder) { b.Ops(isa.IAlu, 2) }, nil)
+	})
+	return b.Build()
+}
+
+// newPostText builds the text-processing nanoservice: per-word
+// dictionary lookups over a body of 8..160 words. The large length
+// variance is exactly what per-argument-size batching fixes (the
+// paper reports up to 5x efficiency recovery here).
+func newPostText(g *alloc.Globals) *Service {
+	const dict = 1 << 15
+	dictionary := g.Alloc(dict * 16)
+	hp := hashFunc("post-text.hash", g.Alloc(64), 3)
+
+	b := isa.NewProgram("post-text.process")
+	b.SyscallOp()
+	b.Call(hp)
+	// Document metadata chain: one cold hop, two hot hops.
+	chase(b, tableAddr(dictionary, dict, 16), 1)
+	chase(b, tableAddr(dictionary, 1024, 16), 2)
+	b.Loop(argLen, func(b *isa.Builder) {
+		b.StackLoad(24)
+		b.OpsChain(isa.IAlu, 4, 1)
+		b.LoadAt(8, zipfAddr(dictionary, dict, 16, 4096))
+		// Rare-word slow path: infrequent and short, so divergence
+		// stays low (compiled services isolate heavy paths, Key Obs #2).
+		b.If(func(c *isa.Ctx) bool { return c.Rand.Intn(32) == 0 },
+			func(b *isa.Builder) { b.Ops(isa.IAlu, 2) },
+			nil)
+		b.StackStore(40)
+	})
+	b.SyscallOp()
+	process := b.Build()
+
+	return &Service{
+		Name:  "post-text",
+		Group: "Post",
+		APIs:  []string{"process"},
+		progs: map[string]*isa.Program{"process": process},
+		gen: func(r *rand.Rand) Request {
+			words := 8
+			if f := r.Float64(); f < 0.5 {
+				words = randIn(r, 8, 24)
+			} else if f < 0.85 {
+				words = randIn(r, 24, 64)
+			} else {
+				words = randIn(r, 64, 160)
+			}
+			return Request{
+				API:      "process",
+				ArgBytes: words * 8,
+				Args:     []uint64{0, uint64(words)},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}
+
+// newURLShort builds the URL shortener: a fixed-length base-62 encode
+// plus one table insert. Short and uniform, so it batches almost
+// perfectly under any policy.
+func newURLShort(g *alloc.Globals) *Service {
+	const slots = 1 << 14
+	table := g.Alloc(slots * 32)
+	counter := g.Alloc(64)
+	hp := hashFunc("urlshort.hash", g.Alloc(64), 3)
+
+	b := isa.NewProgram("urlshort.shorten")
+	parseLoop(b, 2)
+	b.Call(hp)
+	b.AtomicAt(8, constAddr(counter))
+	// Collision probe: one cold hop into the slot table, then hot
+	// rehash hops.
+	chase(b, tableAddr(table, slots, 32), 1)
+	chase(b, tableAddr(table, 512, 32), 2)
+	b.LoopN(11, func(b *isa.Builder) {
+		b.OpsChain(isa.IAlu, 4, 1)
+		b.StackStore(32)
+	})
+	b.StoreAt(8, tableAddr(table, slots, 32))
+	b.SyscallOp()
+	shorten := b.Build()
+
+	return &Service{
+		Name:  "urlshort",
+		Group: "Post",
+		APIs:  []string{"shorten"},
+		progs: map[string]*isa.Program{"shorten": shorten},
+		gen: func(r *rand.Rand) Request {
+			urlWords := randIn(r, 3, 6)
+			return Request{
+				API:      "shorten",
+				ArgBytes: urlWords * 8,
+				Args:     []uint64{0, uint64(urlWords)},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}
+
+// newUniqueID builds the unique-ID nanoservice: a snowflake-style ID
+// from a timestamp, a shard constant and an atomic sequence bump.
+// Nearly branch-free and uniform — the SIMT best case.
+func newUniqueID(g *alloc.Globals) *Service {
+	seq := g.Alloc(64)
+	shardCfg := g.Alloc(64)
+	sessTable := g.Alloc((1 << 12) * 64)
+
+	b := isa.NewProgram("uniqueid.mint")
+	b.SyscallOp()
+	b.LoadAt(8, constAddr(shardCfg))
+	b.OpsChain(isa.IAlu, 8, 1)
+	b.Ops(isa.IAlu, 14)
+	b.AtomicAt(8, constAddr(seq))
+	// Session bookkeeping: one cold descriptor hop, one hot hop.
+	chase(b, tableAddr(sessTable, 1<<12, 64), 1)
+	chase(b, tableAddr(sessTable, 256, 64), 1)
+	b.StackStore(24)
+	b.OpsChain(isa.IAlu, 6, 1)
+	b.LoopN(4, func(b *isa.Builder) {
+		b.Ops(isa.IAlu, 3)
+		b.StackStore(32)
+	})
+	b.SyscallOp()
+	mint := b.Build()
+
+	return &Service{
+		Name:  "uniqueid",
+		Group: "Post",
+		APIs:  []string{"mint"},
+		progs: map[string]*isa.Program{"mint": mint},
+		gen: func(r *rand.Rand) Request {
+			return Request{
+				API:      "mint",
+				ArgBytes: 8,
+				Args:     []uint64{0, 1},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}
+
+// newUserTag builds the user-tagging service: resolve each mentioned
+// user through the social-graph adjacency table.
+func newUserTag(g *alloc.Globals) *Service {
+	const users = 1 << 14
+	graph := g.Alloc(users * 64)
+	hp := hashFunc("usertag.hash", g.Alloc(64), 3)
+
+	b := isa.NewProgram("usertag.tag")
+	parseLoop(b, 2)
+	b.Call(hp)
+	b.Loop(argLen, func(b *isa.Builder) {
+		// Two-hop graph traversal: cold user row, then its edge row.
+		b.LoadAt(8, tableAddr(graph, users, 64))
+		b.LoadAt(8, tableAddr(graph, users, 64), 1)
+		b.OpsChain(isa.IAlu, 3, 1)
+		// Check the mention's follower edge: short divergent branch.
+		b.If(func(c *isa.Ctx) bool { return c.Rand.Intn(3) == 0 },
+			func(b *isa.Builder) {
+				b.LoadAt(8, tableAddr(graph, users, 64))
+				b.Ops(isa.IAlu, 2)
+			}, nil)
+		b.StackStore(40)
+	})
+	b.SyscallOp()
+	tag := b.Build()
+
+	return &Service{
+		Name:  "usertag",
+		Group: "Post",
+		APIs:  []string{"tag"},
+		progs: map[string]*isa.Program{"tag": tag},
+		gen: func(r *rand.Rand) Request {
+			mentions := randIn(r, 1, 8)
+			return Request{
+				API:      "tag",
+				ArgBytes: mentions * 8,
+				Args:     []uint64{0, uint64(mentions)},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}
+
+// postRow picks a post-store row with a hot-set skew.
+func postRow(c *isa.Ctx, store uint64) uint64 {
+	if c.Rand.Float64() < 0.9 {
+		return store + uint64(c.Rand.Intn(128))*512
+	}
+	return store + uint64(c.Rand.Intn(1<<12))*512
+}

@@ -1,0 +1,122 @@
+package uservices
+
+import (
+	"math/rand"
+
+	"simr/internal/alloc"
+	"simr/internal/isa"
+)
+
+// newRecommenderMid builds the Recommender middle tier: look up the
+// user's feature vector, fan out to two ranking leaves and blend the
+// returned scores.
+func newRecommenderMid(g *alloc.Globals) *Service {
+	userFeatures := g.Alloc(1 << 20)
+	mp := marshalFunc("recommender-mid.rpc", 24)
+
+	sessions := g.Alloc((1 << 13) * 64)
+	b := isa.NewProgram("recommender-mid.recommend")
+	parseLoop(b, 3)
+	// Profile/session dependent walk: cold descriptor plus hot hops.
+	chase(b, tableAddr(sessions, 1<<13, 64), 1)
+	chase(b, tableAddr(sessions, 256, 64), 3)
+	// Fetch the user's feature row (divergent: per-user row).
+	row := b.Slot()
+	b.Eff(func(c *isa.Ctx) {
+		if c.Rand.Float64() < 0.9 {
+			c.Slots[row] = userFeatures + uint64(c.Rand.Intn(128))*256
+		} else {
+			c.Slots[row] = userFeatures + uint64(c.Rand.Intn(1<<12))*256
+		}
+	})
+	b.LoopIdx(func(*isa.Ctx) int { return 8 }, func(b *isa.Builder, idx int) {
+		b.LoadAt(8, slotSeq(row, idx, 32))
+		b.Ops(isa.FAlu, 1)
+		b.StackStore(40)
+	})
+	b.LoopN(2, func(b *isa.Builder) { b.Call(mp) })
+	b.SyscallOp()
+	// Blend scores.
+	b.LoopN(20, func(b *isa.Builder) {
+		b.StackLoad(48)
+		b.OpsChain(isa.FAlu, 2, 1)
+		b.If(func(c *isa.Ctx) bool { return c.Rand.Intn(4) == 0 },
+			func(b *isa.Builder) { b.StackStore(56) }, nil)
+	})
+	b.SyscallOp()
+	rec := b.Build()
+
+	return &Service{
+		Name:  "recommender-mid",
+		Group: "Recommender",
+		APIs:  []string{"recommend"},
+		progs: map[string]*isa.Program{"recommend": rec},
+		gen: func(r *rand.Rand) Request {
+			items := randIn(r, 2, 6)
+			return Request{
+				API:      "recommend",
+				ArgBytes: items * 8,
+				Args:     []uint64{0, uint64(items), r.Uint64()},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}
+
+// newRecommenderLeaf builds the ranking leaf: SIMD dot products of the
+// request's feature vector against a shared model matrix. The model
+// rows are walked identically by every thread in a batch (broadcast /
+// coalesced accesses), making this leaf SIMT-friendly despite being
+// vector-heavy.
+func newRecommenderLeaf(g *alloc.Globals) *Service {
+	const items = 64
+	const itemBytes = 256
+	model := g.Alloc(items * itemBytes)
+	biasWord := g.Alloc(64)
+
+	b := isa.NewProgram("recommender-leaf.rank")
+	parseLoop(b, 2)
+	// Per-request embedding gather: a cold row per ranked item (both
+	// architectures stream these from DRAM).
+	emb := g.Alloc((1 << 13) * 64)
+	embRow := b.Slot()
+	b.Eff(func(c *isa.Ctx) {
+		c.Slots[embRow] = emb + uint64(c.Rand.Intn(1<<13))*64
+	})
+	// Rank a fixed working set of items: the model walk is uniform
+	// across threads, so the MCU broadcasts most loads.
+	b.LoopIdx(func(*isa.Ctx) int { return items / 2 }, func(b *isa.Builder, it int) {
+		b.Eff(func(c *isa.Ctx) {
+			c.Slots[embRow] = emb + uint64(c.Rand.Intn(1<<13))*64
+		})
+		b.LoadAt(8, func(c *isa.Ctx) uint64 { return c.Slots[embRow] })
+		b.LoopIdx(func(*isa.Ctx) int { return 8 }, func(b *isa.Builder, di int) {
+			b.LoadAt(8, func(c *isa.Ctx) uint64 {
+				return model + c.Slots[it]%uint64(items/2)*itemBytes + c.Slots[di]*32
+			})
+			b.OpDeps(isa.Simd, 1, 0)
+		})
+		b.LoadAt(8, constAddr(biasWord))
+		b.OpsChain(isa.FAlu, 2, 1)
+		b.If(func(c *isa.Ctx) bool { return c.Rand.Intn(16) == 0 },
+			func(b *isa.Builder) { b.StackStore(40) }, nil)
+	})
+	b.SyscallOp()
+	rank := b.Build()
+
+	return &Service{
+		Name:  "recommender-leaf",
+		Group: "Recommender",
+		APIs:  []string{"rank"},
+		progs: map[string]*isa.Program{"rank": rank},
+		gen: func(r *rand.Rand) Request {
+			k := randIn(r, 2, 5)
+			return Request{
+				API:      "rank",
+				ArgBytes: k * 8,
+				Args:     []uint64{0, uint64(k), r.Uint64()},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}

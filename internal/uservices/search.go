@@ -1,0 +1,149 @@
+package uservices
+
+import (
+	"math/rand"
+
+	"simr/internal/alloc"
+	"simr/internal/isa"
+)
+
+// newSearchMid builds the Search middle tier: parse the query, fan out
+// to three leaf shards, then merge the returned top-K lists. Work
+// scales with the query length, so per-argument-size batching matters.
+func newSearchMid(g *alloc.Globals) *Service {
+	hp := hashFunc("search-mid.hash", g.Alloc(64), 4)
+	mp := marshalFunc("search-mid.rpc", 28)
+
+	sessions := g.Alloc((1 << 13) * 64)
+	b := isa.NewProgram("search-mid.query")
+	parseLoop(b, 4)
+	b.Call(hp)
+	// Per-connection state walk: one cold descriptor hop, hot rest.
+	chase(b, tableAddr(sessions, 1<<13, 64), 1)
+	chase(b, tableAddr(sessions, 256, 64), 3)
+	// Fan out to 3 shards.
+	b.LoopN(3, func(b *isa.Builder) {
+		b.LoopN(4, func(b *isa.Builder) {
+			b.StackLoad(40)
+			b.Ops(isa.IAlu, 2)
+			b.StackStore(48)
+		})
+		b.Call(mp)
+	})
+	b.SyscallOp() // await responses
+	// Merge: top-K over 3 × 10 results in a private heap buffer.
+	buf := b.Slot()
+	b.AllocTo(buf, func(*isa.Ctx) int { return 3 * 10 * 16 })
+	b.LoopIdx(func(*isa.Ctx) int { return 30 }, func(b *isa.Builder, idx int) {
+		b.LoadAt(8, slotSeq(buf, idx, 16))
+		b.OpsChain(isa.IAlu, 2, 1)
+		b.If(func(c *isa.Ctx) bool { return c.Rand.Intn(3) == 0 },
+			func(b *isa.Builder) { b.StackStore(56); b.Ops(isa.IAlu, 2) },
+			nil)
+	})
+	// Response assembly scales with query length.
+	b.Loop(argLen, func(b *isa.Builder) {
+		b.StackLoad(64)
+		b.Ops(isa.IAlu, 3)
+		b.StackStore(72)
+	})
+	b.SyscallOp()
+	query := b.Build()
+
+	return &Service{
+		Name:  "search-mid",
+		Group: "Search",
+		APIs:  []string{"query"},
+		progs: map[string]*isa.Program{"query": query},
+		gen: func(r *rand.Rand) Request {
+			words := queryWords(r)
+			return Request{
+				API:      "query",
+				ArgBytes: words * 8,
+				Args:     []uint64{0, uint64(words)},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}
+
+// newSearchLeaf builds the Search leaf shard: posting-list
+// intersection. Each term's posting list streams through the cache
+// (compulsory misses) while the private accumulator is revisited — it
+// fits a 64 KB CPU L1 for one thread but thrashes the RPU's 256 KB L1
+// at batch 32, which is why the paper tunes this service to batch 8.
+func newSearchLeaf(g *alloc.Globals) *Service {
+	const lists = 256
+	const listBytes = 1 << 14 // 16 KB per posting list segment
+	postings := g.Alloc(lists * listBytes)
+
+	b := isa.NewProgram("search-leaf.search")
+	parseLoop(b, 3)
+	acc := b.Slot()
+	b.AllocTo(acc, func(*isa.Ctx) int { return 8 << 10 }) // 8 KB accumulator
+	listBase := b.Slot()
+	// For each query term: walk its posting list and probe/update the
+	// accumulator.
+	b.Loop(argLen, func(b *isa.Builder) {
+		b.Eff(func(c *isa.Ctx) {
+			// Hot terms dominate queries; their posting lists cache.
+			n := c.Rand.Intn(lists)
+			if c.Rand.Float64() < 0.5 {
+				n = c.Rand.Intn(8)
+			}
+			c.Slots[listBase] = postings + uint64(n)*listBytes
+		})
+		b.LoopIdx(func(c *isa.Ctx) int { return 128 }, func(b *isa.Builder, idx int) {
+			// Streaming read: one element per 32 B line.
+			b.LoadAt(8, slotSeq(listBase, idx, 32))
+			b.OpsChain(isa.IAlu, 2, 1)
+			// Accumulator probe at a hash position: private, revisited.
+			b.LoadAt(8, func(c *isa.Ctx) uint64 {
+				return c.Slots[acc] + uint64(c.Rand.Intn(1024))*8
+			}, 1)
+			b.If(func(c *isa.Ctx) bool { return c.Rand.Intn(4) == 0 },
+				func(b *isa.Builder) {
+					b.StoreAt(8, func(c *isa.Ctx) uint64 {
+						return c.Slots[acc] + uint64(c.Rand.Intn(1024))*8
+					})
+				}, nil)
+		})
+	})
+	// Score pass over the accumulator.
+	b.LoopIdx(func(*isa.Ctx) int { return 256 }, func(b *isa.Builder, idx int) {
+		b.LoadAt(8, slotSeq(acc, idx, 8))
+		b.OpsChain(isa.FAlu, 1, 1)
+		b.If(func(c *isa.Ctx) bool { return c.Rand.Intn(8) == 0 },
+			func(b *isa.Builder) { b.StackStore(48) }, nil)
+	})
+	b.SyscallOp()
+	search := b.Build()
+
+	return &Service{
+		Name:          "search-leaf",
+		Group:         "Search",
+		APIs:          []string{"search"},
+		TunedBatch:    8,
+		DataIntensive: true,
+		progs:         map[string]*isa.Program{"search": search},
+		gen: func(r *rand.Rand) Request {
+			words := queryWords(r)
+			return Request{
+				API:      "search",
+				ArgBytes: words * 8,
+				Args:     []uint64{0, uint64(words), r.Uint64()},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}
+
+// queryWords draws a skewed query length: mostly short queries with a
+// long tail, the length-divergence source that argument-size batching
+// addresses.
+func queryWords(r *rand.Rand) int {
+	if r.Float64() < 0.75 {
+		return randIn(r, 1, 3)
+	}
+	return randIn(r, 4, 10)
+}

@@ -1,0 +1,112 @@
+package uservices
+
+import (
+	"math/rand"
+
+	"simr/internal/alloc"
+	"simr/internal/isa"
+)
+
+// HitFlagArg is the Args index of the User service's cache-hit flag.
+const HitFlagArg = 3
+
+// UserHitRate is the modelled memcached hit rate of the User service
+// (paper §V-B assumes 90 %).
+const UserHitRate = 0.9
+
+// newUser builds the User service implementing the paper's Figure 17a
+// design pattern: try the in-memory cache first; on a miss, marshal a
+// storage query, wait for it, and refill the cache. The miss path is
+// several times longer than the hit path and, at system level, blocks
+// on millisecond-scale storage — the motivation for batch splitting.
+// Args[HitFlagArg] != 0 marks a cache hit.
+func newUser(g *alloc.Globals) *Service {
+	const rows = 1 << 13
+	cacheTable := g.Alloc(rows * 128)
+	hp := hashFunc("user.hash", g.Alloc(64), 4)
+	sp := marshalFunc("user.storagerpc", 28)
+
+	b := isa.NewProgram("user.getUser")
+	parseLoop(b, 2)
+	b.Call(hp)
+	// Probe the cache row.
+	row := b.Slot()
+	b.Eff(func(c *isa.Ctx) {
+		c.Slots[row] = cacheTable + uint64(userRowIdx(c, rows))*128
+	})
+	b.LoadAt(8, func(c *isa.Ctx) uint64 { return c.Slots[row] })
+	// Row version-chain walk before the hit/miss decision: one cold
+	// row hop, one hot hop.
+	chase(b, func(c *isa.Ctx) uint64 {
+		return cacheTable + uint64(c.Rand.Intn(rows))*128
+	}, 1)
+	chase(b, func(c *isa.Ctx) uint64 {
+		return cacheTable + uint64(c.Rand.Intn(128))*128
+	}, 1)
+	b.If(func(c *isa.Ctx) bool { return c.Arg0(HitFlagArg) != 0 },
+		func(b *isa.Builder) {
+			// Hit: copy the row out.
+			b.LoopIdx(func(*isa.Ctx) int { return 4 }, func(b *isa.Builder, idx int) {
+				b.LoadAt(32, slotSeq(row, idx, 32))
+				b.StackStore(40, 1)
+				b.StackStore(48)
+			})
+		},
+		func(b *isa.Builder) {
+			// Miss: query storage, deserialize, refill the cache.
+			b.Call(sp)
+			b.SyscallOp() // storage wait
+			b.LoopN(24, func(b *isa.Builder) {
+				b.StackLoad(48)
+				b.OpsChain(isa.IAlu, 3, 1)
+				b.StackStore(56)
+			})
+			b.AtomicAt(8, func(c *isa.Ctx) uint64 { return c.Slots[row] + 120 })
+			b.LoopIdx(func(*isa.Ctx) int { return 4 }, func(b *isa.Builder, idx int) {
+				b.StackLoad(48)
+				b.StackLoad(56)
+				b.StoreAt(32, slotSeq(row, idx, 32), 1)
+			})
+			b.AtomicAt(8, func(c *isa.Ctx) uint64 { return c.Slots[row] + 120 })
+		})
+	// Assemble the response.
+	b.LoopN(6, func(b *isa.Builder) {
+		b.StackLoad(64)
+		b.Ops(isa.IAlu, 2)
+		b.StackStore(72)
+	})
+	b.SyscallOp()
+	getUser := b.Build()
+
+	return &Service{
+		Name:  "user",
+		Group: "User",
+		APIs:  []string{"getUser"},
+		progs: map[string]*isa.Program{"getUser": getUser},
+		gen: func(r *rand.Rand) Request {
+			hit := uint64(0)
+			if r.Float64() < UserHitRate {
+				hit = 1
+			}
+			kl := randIn(r, 1, 3)
+			// The SIMR server predicts each request's control flow from
+			// its key's hotness (paper §III-B1: batch by predicted
+			// control flow); the prediction is folded into the argument
+			// class so predicted misses batch together.
+			return Request{
+				API:      "getUser",
+				ArgBytes: kl*8 + int(1-hit)*1024,
+				Args:     []uint64{0, uint64(kl), 0, hit},
+				Seed:     r.Int63(),
+			}
+		},
+	}
+}
+
+// userRowIdx picks the request's cache row with a hot-user skew.
+func userRowIdx(c *isa.Ctx, rows int) int {
+	if c.Rand.Float64() < 0.9 {
+		return c.Rand.Intn(256)
+	}
+	return c.Rand.Intn(rows)
+}

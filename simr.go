@@ -1,0 +1,171 @@
+// Package simr is the public facade of the SIMR reproduction — the
+// MICRO 2022 paper "SIMR: Single Instruction Multiple Request
+// Processing for Energy-Efficient Data Center Microservices" (Khairy,
+// Alawneh, Barnes, Rogers) rebuilt as a self-contained Go library.
+//
+// The library contains:
+//
+//   - a µISA with a structured program builder and per-request
+//     interpreter standing in for x86 binaries + PIN tracing,
+//   - the 15-microservice social-network suite,
+//   - the SIMR-aware batching server (naive / per-API /
+//     per-API+argument-size policies, batch splitting),
+//   - the lock-step SIMT engine (MinSP-PC and ideal IPDOM),
+//   - cycle-level core models for the CPU, CPU-SMT8, RPU and a GPU,
+//   - the banked-cache + MCU + DRAM memory system,
+//   - a McPAT-style energy/area model, and
+//   - a uqsim-style system-level queueing simulator.
+//
+// Quick start:
+//
+//	suite := simr.NewSuite()
+//	svc := suite.Get("memc")
+//	reqs := svc.Generate(rand.New(rand.NewSource(1)), 2400)
+//	cpu, _ := simr.RunService(simr.ArchCPU, svc, reqs, simr.DefaultOptions())
+//	rpu, _ := simr.RunService(simr.ArchRPU, svc, reqs, simr.DefaultOptions())
+//	fmt.Printf("requests/joule: %.1fx\n", rpu.ReqPerJoule()/cpu.ReqPerJoule())
+package simr
+
+import (
+	"io"
+
+	"simr/internal/core"
+	"simr/internal/queuesim"
+	"simr/internal/uservices"
+)
+
+// Re-exported workload types.
+type (
+	// Suite is the 15-microservice workload set.
+	Suite = uservices.Suite
+	// Service is one microservice with its API programs and request
+	// generator.
+	Service = uservices.Service
+	// Request is one incoming RPC/HTTP request.
+	Request = uservices.Request
+)
+
+// Re-exported experiment types.
+type (
+	// Arch selects a hardware design point.
+	Arch = core.Arch
+	// Options tunes an RPU/GPU run.
+	Options = core.Options
+	// Result is a chip-level measurement.
+	Result = core.Result
+	// ChipRow pairs one service's results across architectures.
+	ChipRow = core.ChipRow
+	// EffRow is one service's SIMT efficiency per batching policy.
+	EffRow = core.EffRow
+	// MPKIRow is one service's L1 MPKI per configuration.
+	MPKIRow = core.MPKIRow
+	// SystemConfig parameterises the end-to-end queueing scenario.
+	SystemConfig = queuesim.Config
+	// SystemMetrics is one load point's outcome.
+	SystemMetrics = queuesim.Metrics
+)
+
+// Architectures under study (Table IV columns).
+const (
+	ArchCPU  = core.ArchCPU
+	ArchSMT8 = core.ArchSMT8
+	ArchRPU  = core.ArchRPU
+	ArchGPU  = core.ArchGPU
+)
+
+// DefaultRequests is the paper's per-service request count (2400).
+const DefaultRequests = core.DefaultRequests
+
+// NewSuite constructs the 15 microservices with freshly linked
+// programs and shared tables.
+func NewSuite() *Suite { return uservices.NewSuite() }
+
+// NewGPGPUSuite constructs the §VI-D data-parallel SPMD kernels
+// (saxpy, dot product, stencil) for the GPGPU-on-RPU study.
+func NewGPGPUSuite() *Suite { return uservices.NewGPGPUSuite() }
+
+// RunISPC models the §VI-A alternative: compiling the service
+// SPMD-style onto the CPU's 8-lane SIMD units (ISPC), one request per
+// vector lane, with per-lane gathers, predication and scalar fallback.
+func RunISPC(svc *Service, reqs []Request) (*Result, error) {
+	return core.RunISPC(svc, reqs)
+}
+
+// DefaultOptions returns the paper's baseline RPU configuration
+// (per-API+argument-size batching, SIMR-aware allocation, stack
+// interleaving, majority voting, atomics at L3).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// RunService executes requests on one core of the architecture and
+// returns timing, energy and memory statistics.
+func RunService(arch Arch, svc *Service, reqs []Request, opts Options) (*Result, error) {
+	return core.RunService(arch, svc, reqs, opts)
+}
+
+// EfficiencyStudy reproduces Figures 4/11 (SIMT efficiency per
+// batching policy).
+func EfficiencyStudy(suite *Suite, requests int, seed int64) ([]EffRow, error) {
+	return core.EfficiencyStudy(suite, requests, seed)
+}
+
+// ChipStudy reproduces the chip-level comparison behind Figures 10,
+// 14, 19, 20 and 21.
+func ChipStudy(suite *Suite, requests int, seed int64, withGPU bool) ([]ChipRow, error) {
+	return core.ChipStudy(suite, requests, seed, withGPU)
+}
+
+// MPKIStudy reproduces Figure 15 (L1 MPKI by batch size).
+func MPKIStudy(suite *Suite, requests int, seed int64) ([]MPKIRow, error) {
+	return core.MPKIStudy(suite, requests, seed)
+}
+
+// SensitivityStudy runs the §V-A1 ablations and writes the report.
+func SensitivityStudy(w io.Writer, suite *Suite, services []string, requests int, seed int64) error {
+	return core.SensitivityStudy(w, suite, services, requests, seed)
+}
+
+// DefaultSystemConfig returns the Figure 22 end-to-end scenario.
+func DefaultSystemConfig() SystemConfig { return queuesim.DefaultConfig() }
+
+// RunSystem simulates one end-to-end load point.
+func RunSystem(cfg SystemConfig) *SystemMetrics { return queuesim.Run(cfg) }
+
+// SweepSystem runs a QPS sweep.
+func SweepSystem(base SystemConfig, qps []float64) []*SystemMetrics {
+	return queuesim.Sweep(base, qps)
+}
+
+// Re-exported extension-study types.
+type (
+	// MultiProcessResult is the §VI-B multi-process divergence study.
+	MultiProcessResult = core.MultiProcessResult
+	// MultiBatchResult is the §III-A batch-interleaving study.
+	MultiBatchResult = core.MultiBatchResult
+	// ComposePostConfig parameterises the Figure 3 compose-post path.
+	ComposePostConfig = queuesim.ComposePostConfig
+	// ResultJSON is the machine-readable result record.
+	ResultJSON = core.ResultJSON
+)
+
+// MultiProcessStudy reproduces §VI-B: lock-step efficiency of threads
+// vs separate processes vs base-aligned processes.
+func MultiProcessStudy(batchSize int, seed int64) (*MultiProcessResult, error) {
+	return core.MultiProcessStudy(batchSize, seed)
+}
+
+// MultiBatchStudy quantifies coarse-grain two-batch interleaving on one
+// RPU core (the paper's future-work §III-A scheduler).
+func MultiBatchStudy(svc *Service, reqs []Request, opts Options) (*MultiBatchResult, error) {
+	return core.MultiBatchStudy(svc, reqs, opts)
+}
+
+// DefaultComposePost returns the Figure 3 compose-post scenario.
+func DefaultComposePost() ComposePostConfig { return queuesim.DefaultComposePost() }
+
+// RunComposePost simulates the compose-post fan-out/join path.
+func RunComposePost(cfg ComposePostConfig) *SystemMetrics {
+	return queuesim.RunComposePost(cfg)
+}
+
+// WriteResultsJSON emits a chip study as JSON records.
+func WriteResultsJSON(w io.Writer, rows []ChipRow) error { return core.WriteJSON(w, rows) }
