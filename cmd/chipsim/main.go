@@ -39,6 +39,7 @@ func main() {
 	sensServices := flag.String("services", "", "comma-separated service subset for -sensitivity")
 	gpu := flag.Bool("gpu", true, "include the GPU design point")
 	jsonOut := flag.Bool("json", false, "emit the chip study as JSON instead of tables")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the study sweeps (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	suite := uservices.NewSuite()
@@ -80,15 +81,13 @@ func main() {
 	if *multibatch {
 		fmt.Println("§III-A: coarse-grain multi-batch interleaving headroom (2 batches/core)")
 		fmt.Printf("%-18s %12s %12s %10s\n", "service", "sequential", "interleaved", "speedup")
-		for _, svc := range suite.Services {
-			r := rand.New(rand.NewSource(*seed))
-			reqs := svc.Generate(r, 2*svc.TunedBatch)
-			res, err := core.MultiBatchStudy(svc, reqs, core.DefaultOptions())
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%-18s %12d %12d %9.2fx\n", svc.Name,
-				res.SequentialCycles, res.InterleavedCycles, res.Speedup())
+		rows, err := core.MultiBatchSweep(suite, *seed, *parallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, row := range rows {
+			fmt.Printf("%-18s %12d %12d %9.2fx\n", row.Service,
+				row.Res.SequentialCycles, row.Res.InterleavedCycles, row.Res.Speedup())
 		}
 		fmt.Println("(the paper defers multi-batch scheduling to future work; this bounds its benefit)")
 		return
@@ -98,14 +97,14 @@ func main() {
 		if *sensServices != "" {
 			subset = strings.Split(*sensServices, ",")
 		}
-		if err := core.SensitivityStudy(os.Stdout, suite, subset, *requests, *seed); err != nil {
+		if err := core.SensitivityStudyParallel(os.Stdout, suite, subset, *requests, *seed, *parallel); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
 	if *fig == 15 {
-		rows, err := core.MPKIStudy(suite, *requests, *seed)
+		rows, err := core.MPKIStudyParallel(suite, *requests, *seed, *parallel)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -114,7 +113,7 @@ func main() {
 		return
 	}
 
-	rows, err := core.ChipStudy(suite, *requests, *seed, *gpu)
+	rows, err := core.ChipStudyParallel(suite, *requests, *seed, *gpu, *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	simteff [-requests N] [-seed S] [-fig 4|11]
+//	simteff [-requests N] [-seed S] [-fig 4|11] [-parallel N]
 package main
 
 import (
@@ -22,10 +22,11 @@ func main() {
 	requests := flag.Int("requests", core.DefaultRequests, "requests per service (paper: 2400)")
 	seed := flag.Int64("seed", 42, "workload random seed")
 	fig := flag.Int("fig", 11, "figure to print: 4 (naive only) or 11 (all policies)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	suite := uservices.NewSuite()
-	rows, err := core.EfficiencyStudy(suite, *requests, *seed)
+	rows, err := core.EfficiencyStudyParallel(suite, *requests, *seed, *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,13 +19,14 @@ func main() {
 	name := flag.String("service", "search-leaf", "service to explore")
 	requests := flag.Int("requests", 960, "request count")
 	seed := flag.Int64("seed", 42, "workload seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	suite := simr.NewSuite()
 	svc := suite.Get(*name)
 	reqs := svc.Generate(rand.New(rand.NewSource(*seed)), *requests)
 
-	cpu, err := simr.RunService(simr.ArchCPU, svc, reqs, simr.DefaultOptions())
+	cpu, rows, err := simr.BatchSweep(svc, reqs, []int{32, 16, 8, 4}, *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,29 +34,28 @@ func main() {
 		svc.Name, svc.TunedBatch, svc.DataIntensive)
 	fmt.Printf("%-10s %12s %12s %10s %10s\n", "batch", "latency", "req/J", "simt eff", "L1 MPKI")
 	fmt.Printf("%-10s %11.2fx %11.2fx %10s %10.2f\n", "cpu", 1.0, 1.0, "-", cpu.L1MPKI())
-	for _, size := range []int{32, 16, 8, 4} {
-		opts := simr.DefaultOptions()
-		opts.BatchSize = size
-		rpu, err := simr.RunService(simr.ArchRPU, svc, reqs, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, row := range rows {
+		rpu := row.Res
 		fmt.Printf("rpu-%-6d %11.2fx %11.2fx %9.0f%% %10.2f\n",
-			size,
+			row.Size,
 			rpu.AvgLatencySec()/cpu.AvgLatencySec(),
 			rpu.ReqPerJoule()/cpu.ReqPerJoule(),
 			100*rpu.SIMTEff, rpu.L1MPKI())
 	}
 
-	// Allocator ablation at the tuned batch size.
-	fmt.Printf("\nheap allocator ablation (batch %d):\n", svc.TunedBatch)
-	for _, pol := range []alloc.Policy{alloc.PolicySIMR, alloc.PolicyCPU} {
+	// Allocator ablation at the tuned batch size, one cell per policy.
+	policies := []alloc.Policy{alloc.PolicySIMR, alloc.PolicyCPU}
+	abl, err := simr.RunCells(len(policies), *parallel, func(i int) (*simr.Result, error) {
 		opts := simr.DefaultOptions()
-		opts.AllocPolicy = pol
-		rpu, err := simr.RunService(simr.ArchRPU, svc, reqs, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+		opts.AllocPolicy = policies[i]
+		return simr.RunService(simr.ArchRPU, svc, reqs, opts)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nheap allocator ablation (batch %d):\n", svc.TunedBatch)
+	for i, pol := range policies {
+		rpu := abl[i]
 		fmt.Printf("  %-12s latency %.2fx of cpu, %d L1 bank conflicts\n",
 			pol, rpu.AvgLatencySec()/cpu.AvgLatencySec(), rpu.Stats.Mem.L1.BankConflicts)
 	}

@@ -15,10 +15,11 @@ import (
 func main() {
 	requests := flag.Int("requests", 960, "requests per service")
 	seed := flag.Int64("seed", 42, "workload seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	suite := simr.NewSuite()
-	rows, err := simr.ChipStudy(suite, *requests, *seed, false)
+	rows, err := simr.ChipStudyParallel(suite, *requests, *seed, false, *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -42,15 +42,19 @@ type Options struct {
 	CPUPrefetch bool
 }
 
-// DefaultOptions is the paper's baseline RPU configuration.
+// DefaultOptions is the paper's baseline RPU configuration. Spin points
+// at a private copy of simt.DefaultSpin so callers (and concurrent
+// runs) can mutate it without affecting the package global or each
+// other.
 func DefaultOptions() Options {
+	spin := simt.DefaultSpin
 	return Options{
 		Policy:          batch.PerAPIArgSize,
 		AllocPolicy:     alloc.PolicySIMR,
 		StackInterleave: true,
 		MajorityVote:    true,
 		AtomicsAtL3:     true,
-		Spin:            &simt.DefaultSpin,
+		Spin:            &spin,
 	}
 }
 
@@ -61,7 +65,8 @@ type Result struct {
 	Requests int
 	Batches  int
 	// Stats aggregates the pipeline counters over all runs; Stats.Mem
-	// is the final cumulative memory snapshot.
+	// sums each run's memory-counter delta, which equals the final
+	// cumulative snapshot of the run's memory system.
 	Stats pipeline.Stats
 	// Energy is the total energy over all requests.
 	Energy energy.Breakdown
@@ -223,12 +228,13 @@ func runScalar(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts
 		if err != nil {
 			return nil, err
 		}
+		prev := ms.Stats()
 		ms.ResetTiming()
 		st := cpu.Run(ms, scalarUops(trace, 0))
+		st.Mem = st.Mem.Delta(&prev)
 		res.Stats.Accumulate(&st)
 		res.Latency.Add(float64(st.Cycles))
 	}
-	res.Stats.Mem = ms.Stats()
 	res.Energy = model.Compute(&res.Stats, cfg.FreqGHz)
 	return res, nil
 }
@@ -261,14 +267,15 @@ func runSMT(arch Arch, svc *uservices.Service, reqs []uservices.Request) (*Resul
 			streams[t] = scalarUops(trace, t)
 		}
 		merged := mergeSMT(streams)
+		prev := ms.Stats()
 		ms.ResetTiming()
 		st := cpu.Run(ms, merged)
+		st.Mem = st.Mem.Delta(&prev)
 		res.Stats.Accumulate(&st)
 		for range group {
 			res.Latency.Add(float64(st.Cycles))
 		}
 	}
-	res.Stats.Mem = ms.Stats()
 	res.Energy = model.Compute(&res.Stats, cfg.FreqGHz)
 	return res, nil
 }
@@ -334,6 +341,9 @@ func runBatched(arch Arch, svc *uservices.Service, reqs []uservices.Request, opt
 
 	totalScalar, totalBatchOps := 0, 0
 	for _, b := range batches {
+		// Snapshot before batchUops: the MCU counters it bumps belong
+		// to this iteration's delta too.
+		prev := ms.Stats()
 		sg := alloc.NewStackGroup(0, len(b.Requests), opts.StackInterleave)
 		traces, err := svc.TraceBatch(b.Requests, sg, opts.AllocPolicy, lineBytes, cfgM.L1.Banks)
 		if err != nil {
@@ -354,6 +364,7 @@ func runBatched(arch Arch, svc *uservices.Service, reqs []uservices.Request, opt
 		uops := batchUops(merged.Ops, sg, opts.StackInterleave, &ms.MCU)
 		ms.ResetTiming()
 		st := rpu.Run(ms, uops)
+		st.Mem = st.Mem.Delta(&prev)
 		res.Stats.Accumulate(&st)
 		for range b.Requests {
 			res.Latency.Add(float64(st.Cycles))
@@ -362,7 +373,6 @@ func runBatched(arch Arch, svc *uservices.Service, reqs []uservices.Request, opt
 	if totalBatchOps > 0 {
 		res.SIMTEff = float64(totalScalar) / (float64(totalBatchOps) * float64(size))
 	}
-	res.Stats.Mem = ms.Stats()
 	res.Energy = model.Compute(&res.Stats, cfgP.FreqGHz)
 	return res, nil
 }

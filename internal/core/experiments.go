@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"simr/internal/alloc"
 	"simr/internal/batch"
@@ -40,7 +39,8 @@ func efficiencyOf(svc *uservices.Service, reqs []uservices.Request, size int, p 
 		if ipdom {
 			res, err = simt.RunIPDOM(traces, size, reconv)
 		} else {
-			res, err = simt.RunMinSPPC(traces, size, &simt.DefaultSpin)
+			spin := simt.DefaultSpin
+			res, err = simt.RunMinSPPC(traces, size, &spin)
 		}
 		if err != nil {
 			return 0, err
@@ -57,28 +57,9 @@ func efficiencyOf(svc *uservices.Service, reqs []uservices.Request, size int, p 
 // EfficiencyStudy reproduces Figures 4 and 11: SIMT control efficiency
 // per service under naive, per-API and per-API+argument-size batching
 // (MinSP-PC), plus the ideal stack-based IPDOM reference, at batch 32.
+// It is EfficiencyStudyParallel on one worker.
 func EfficiencyStudy(suite *uservices.Suite, requests int, seed int64) ([]EffRow, error) {
-	rows := make([]EffRow, 0, len(suite.Services))
-	for _, svc := range suite.Services {
-		r := rand.New(rand.NewSource(seed))
-		reqs := svc.Generate(r, requests)
-		row := EffRow{Service: svc.Name}
-		var err error
-		if row.Naive, err = efficiencyOf(svc, reqs, 32, batch.Naive, false); err != nil {
-			return nil, err
-		}
-		if row.PerAPI, err = efficiencyOf(svc, reqs, 32, batch.PerAPI, false); err != nil {
-			return nil, err
-		}
-		if row.PerArg, err = efficiencyOf(svc, reqs, 32, batch.PerAPIArgSize, false); err != nil {
-			return nil, err
-		}
-		if row.PerArgIPDOM, err = efficiencyOf(svc, reqs, 32, batch.PerAPIArgSize, true); err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return EfficiencyStudyParallel(suite, requests, seed, 1)
 }
 
 // WriteEfficiency renders the Figure 4/11 table.
@@ -117,32 +98,10 @@ type ChipRow struct {
 }
 
 // ChipStudy runs the chip-level comparison for every service.
-// withGPU additionally runs the Ampere-like GPU model (§V-A3).
+// withGPU additionally runs the Ampere-like GPU model (§V-A3). It is
+// ChipStudyParallel on one worker.
 func ChipStudy(suite *uservices.Suite, requests int, seed int64, withGPU bool) ([]ChipRow, error) {
-	opts := DefaultOptions()
-	rows := make([]ChipRow, 0, len(suite.Services))
-	for _, svc := range suite.Services {
-		r := rand.New(rand.NewSource(seed))
-		reqs := svc.Generate(r, requests)
-		row := ChipRow{Service: svc.Name}
-		var err error
-		if row.CPU, err = RunService(ArchCPU, svc, reqs, opts); err != nil {
-			return nil, err
-		}
-		if row.SMT, err = RunService(ArchSMT8, svc, reqs, opts); err != nil {
-			return nil, err
-		}
-		if row.RPU, err = RunService(ArchRPU, svc, reqs, opts); err != nil {
-			return nil, err
-		}
-		if withGPU {
-			if row.GPU, err = RunService(ArchGPU, svc, reqs, opts); err != nil {
-				return nil, err
-			}
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return ChipStudyParallel(suite, requests, seed, withGPU, 1)
 }
 
 // WriteFig10 renders the CPU dynamic-energy breakdown per pipeline
@@ -265,30 +224,10 @@ type MPKIRow struct {
 }
 
 // MPKIStudy reproduces Figure 15: L1 MPKI of the single-threaded CPU
-// (64 KB L1) vs the RPU (256 KB L1) at batch sizes 32/16/8/4.
+// (64 KB L1) vs the RPU (256 KB L1) at batch sizes 32/16/8/4. It is
+// MPKIStudyParallel on one worker.
 func MPKIStudy(suite *uservices.Suite, requests int, seed int64) ([]MPKIRow, error) {
-	sizes := []int{32, 16, 8, 4}
-	rows := make([]MPKIRow, 0, len(suite.Services))
-	for _, svc := range suite.Services {
-		r := rand.New(rand.NewSource(seed))
-		reqs := svc.Generate(r, requests)
-		cpu, err := RunService(ArchCPU, svc, reqs, DefaultOptions())
-		if err != nil {
-			return nil, err
-		}
-		row := MPKIRow{Service: svc.Name, CPU: cpu.L1MPKI(), RPU: map[int]float64{}}
-		for _, size := range sizes {
-			opts := DefaultOptions()
-			opts.BatchSize = size
-			rpu, err := RunService(ArchRPU, svc, reqs, opts)
-			if err != nil {
-				return nil, err
-			}
-			row.RPU[size] = rpu.L1MPKI()
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return MPKIStudyParallel(suite, requests, seed, 1)
 }
 
 // WriteFig15 renders the MPKI table.

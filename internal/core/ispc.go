@@ -59,8 +59,10 @@ func RunISPC(svc *uservices.Service, reqs []uservices.Request) (*Result, error) 
 		totalBatchOps += len(merged.Ops)
 
 		uops := ispcUops(merged.Ops)
+		prev := ms.Stats()
 		ms.ResetTiming()
 		st := cpu.Run(ms, uops)
+		st.Mem = st.Mem.Delta(&prev)
 		res.Stats.Accumulate(&st)
 		for range b.Requests {
 			res.Latency.Add(float64(st.Cycles))
@@ -69,7 +71,6 @@ func RunISPC(svc *uservices.Service, reqs []uservices.Request) (*Result, error) 
 	if totalBatchOps > 0 {
 		res.SIMTEff = float64(totalScalar) / (float64(totalBatchOps) * float64(width))
 	}
-	res.Stats.Mem = ms.Stats()
 	res.Energy = model.Compute(&res.Stats, cfg.FreqGHz)
 	return res, nil
 }

@@ -1,0 +1,235 @@
+// Worker-pool sweep runner. Every paper study is a grid of independent
+// (service, architecture, Options) cells — each cell builds its own
+// mem.System, pipeline.Core and request stream — so the sweeps fan out
+// over a bounded pool of goroutines. Results are aggregated in input
+// order regardless of completion order, which keeps every figure and
+// CSV byte-identical to the sequential path.
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"simr/internal/batch"
+	"simr/internal/uservices"
+)
+
+// DefaultWorkers is the worker count used when a study is given
+// workers <= 0: one per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// RunCells evaluates fn(0..n-1) on a pool of workers and returns the
+// results in input order. workers <= 0 selects DefaultWorkers;
+// workers == 1 runs inline with no goroutines (the sequential path).
+// On error the lowest-index error among completed cells is returned
+// and remaining cells are abandoned.
+func RunCells[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64
+		stop   atomic.Bool
+		mu     sync.Mutex
+		errIdx = n
+		first  error
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, first = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
+}
+
+// genRequests regenerates a service's request stream from the study
+// seed. Cells never share request slices: regenerating from the same
+// seed is deterministic, so every cell of a study sees the exact
+// stream the sequential loop produced.
+func genRequests(svc *uservices.Service, requests int, seed int64) []uservices.Request {
+	return svc.Generate(rand.New(rand.NewSource(seed)), requests)
+}
+
+// ChipStudyParallel is ChipStudy on a worker pool: one cell per
+// (service, architecture).
+func ChipStudyParallel(suite *uservices.Suite, requests int, seed int64, withGPU bool, workers int) ([]ChipRow, error) {
+	arches := []Arch{ArchCPU, ArchSMT8, ArchRPU}
+	if withGPU {
+		arches = append(arches, ArchGPU)
+	}
+	na := len(arches)
+	cells, err := RunCells(len(suite.Services)*na, workers, func(i int) (*Result, error) {
+		svc := suite.Services[i/na]
+		return RunService(arches[i%na], svc, genRequests(svc, requests, seed), DefaultOptions())
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ChipRow, len(suite.Services))
+	for s, svc := range suite.Services {
+		row := ChipRow{Service: svc.Name, CPU: cells[s*na], SMT: cells[s*na+1], RPU: cells[s*na+2]}
+		if withGPU {
+			row.GPU = cells[s*na+3]
+		}
+		rows[s] = row
+	}
+	return rows, nil
+}
+
+// EfficiencyStudyParallel is EfficiencyStudy on a worker pool: one
+// cell per (service, policy variant).
+func EfficiencyStudyParallel(suite *uservices.Suite, requests int, seed int64, workers int) ([]EffRow, error) {
+	variants := []struct {
+		policy batch.Policy
+		ipdom  bool
+	}{
+		{batch.Naive, false},
+		{batch.PerAPI, false},
+		{batch.PerAPIArgSize, false},
+		{batch.PerAPIArgSize, true},
+	}
+	nv := len(variants)
+	cells, err := RunCells(len(suite.Services)*nv, workers, func(i int) (float64, error) {
+		svc := suite.Services[i/nv]
+		v := variants[i%nv]
+		return efficiencyOf(svc, genRequests(svc, requests, seed), 32, v.policy, v.ipdom)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]EffRow, len(suite.Services))
+	for s, svc := range suite.Services {
+		rows[s] = EffRow{
+			Service:     svc.Name,
+			Naive:       cells[s*nv],
+			PerAPI:      cells[s*nv+1],
+			PerArg:      cells[s*nv+2],
+			PerArgIPDOM: cells[s*nv+3],
+		}
+	}
+	return rows, nil
+}
+
+// MPKIStudyParallel is MPKIStudy on a worker pool: one cell per
+// (service, configuration) where configuration is the CPU or an RPU
+// batch size.
+func MPKIStudyParallel(suite *uservices.Suite, requests int, seed int64, workers int) ([]MPKIRow, error) {
+	sizes := []int{32, 16, 8, 4}
+	nc := 1 + len(sizes) // CPU + one per batch size
+	cells, err := RunCells(len(suite.Services)*nc, workers, func(i int) (*Result, error) {
+		svc := suite.Services[i/nc]
+		reqs := genRequests(svc, requests, seed)
+		if i%nc == 0 {
+			return RunService(ArchCPU, svc, reqs, DefaultOptions())
+		}
+		opts := DefaultOptions()
+		opts.BatchSize = sizes[i%nc-1]
+		return RunService(ArchRPU, svc, reqs, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MPKIRow, len(suite.Services))
+	for s, svc := range suite.Services {
+		row := MPKIRow{Service: svc.Name, CPU: cells[s*nc].L1MPKI(), RPU: map[int]float64{}}
+		for k, size := range sizes {
+			row.RPU[size] = cells[s*nc+1+k].L1MPKI()
+		}
+		rows[s] = row
+	}
+	return rows, nil
+}
+
+// BatchSweepRow is one RPU batch-size point of a batch-tuning sweep.
+type BatchSweepRow struct {
+	Size int
+	Res  *Result
+}
+
+// BatchSweep runs the CPU baseline plus an RPU run per batch size over
+// the same requests on a worker pool (the §III-B3 tuning space).
+func BatchSweep(svc *uservices.Service, reqs []uservices.Request, sizes []int, workers int) (*Result, []BatchSweepRow, error) {
+	cells, err := RunCells(1+len(sizes), workers, func(i int) (*Result, error) {
+		if i == 0 {
+			return RunService(ArchCPU, svc, reqs, DefaultOptions())
+		}
+		opts := DefaultOptions()
+		opts.BatchSize = sizes[i-1]
+		return RunService(ArchRPU, svc, reqs, opts)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([]BatchSweepRow, len(sizes))
+	for k, size := range sizes {
+		rows[k] = BatchSweepRow{Size: size, Res: cells[1+k]}
+	}
+	return cells[0], rows, nil
+}
+
+// MultiBatchRow is one service's §III-A multi-batch interleaving
+// measurement.
+type MultiBatchRow struct {
+	Service string
+	Res     *MultiBatchResult
+}
+
+// MultiBatchSweep runs MultiBatchStudy for every service in the suite
+// on a worker pool (two tuned-size batches per service).
+func MultiBatchSweep(suite *uservices.Suite, seed int64, workers int) ([]MultiBatchRow, error) {
+	cells, err := RunCells(len(suite.Services), workers, func(i int) (*MultiBatchResult, error) {
+		svc := suite.Services[i]
+		return MultiBatchStudy(svc, genRequests(svc, 2*svc.TunedBatch, seed), DefaultOptions())
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MultiBatchRow, len(suite.Services))
+	for i, svc := range suite.Services {
+		rows[i] = MultiBatchRow{Service: svc.Name, Res: cells[i]}
+	}
+	return rows, nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"simr/internal/uservices"
+)
+
+func TestRunCellsOrderAndBounds(t *testing.T) {
+	for _, workers := range []int{1, 3, 4, 100} {
+		got, err := RunCells(17, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 17 {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	if out, err := RunCells(0, 4, func(i int) (int, error) { return 0, nil }); err != nil || out != nil {
+		t.Fatalf("n=0: got %v, %v", out, err)
+	}
+}
+
+func TestRunCellsError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		out, err := RunCells(32, workers, func(i int) (int, error) {
+			if i == 5 {
+				return 0, fmt.Errorf("cell %d: %w", i, boom)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if out != nil {
+			t.Fatalf("workers=%d: expected nil results on error", workers)
+		}
+	}
+}
+
+// TestChipStudyParallelDeterminism is the tentpole guarantee: the
+// worker-pool sweep renders every figure byte-identically to the
+// sequential path for the same seed.
+func TestChipStudyParallelDeterminism(t *testing.T) {
+	suite := uservices.NewSuite()
+	render := func(rows []ChipRow) []byte {
+		var buf bytes.Buffer
+		WriteFig10(&buf, rows)
+		WriteFig14(&buf, rows)
+		WriteFig19(&buf, rows)
+		WriteFig20(&buf, rows)
+		WriteFig21(&buf, rows)
+		if err := WriteJSON(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq, err := ChipStudyParallel(suite, 32, 3, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ChipStudyParallel(suite, 32, 3, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(render(seq), render(par)) {
+		t.Fatal("parallel chip study output differs from sequential")
+	}
+}
+
+func TestEfficiencyStudyParallelDeterminism(t *testing.T) {
+	suite := uservices.NewSuite()
+	seq, err := EfficiencyStudyParallel(suite, 64, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := EfficiencyStudyParallel(suite, 64, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row count: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMPKIStudyParallelDeterminism(t *testing.T) {
+	suite := uservices.NewSuite()
+	seq, err := MPKIStudyParallel(suite, 32, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MPKIStudyParallel(suite, 32, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel MPKI study differs from sequential")
+	}
+}
+
+func TestSensitivityStudyParallelDeterminism(t *testing.T) {
+	suite := uservices.NewSuite()
+	var seq, par bytes.Buffer
+	if err := SensitivityStudyParallel(&seq, suite, []string{"urlshort", "memc"}, 64, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := SensitivityStudyParallel(&par, suite, []string{"urlshort", "memc"}, 64, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatal("parallel sensitivity report differs from sequential")
+	}
+}
+
+func TestMultiBatchSweepDeterminism(t *testing.T) {
+	suite := uservices.NewSuite()
+	seq, err := MultiBatchSweep(suite, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MultiBatchSweep(suite, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel multi-batch sweep differs from sequential")
+	}
+}
+
+func TestBatchSweepDeterminism(t *testing.T) {
+	suite := uservices.NewSuite()
+	svc := suite.Get("memc")
+	reqs := genRequests(svc, 64, 3)
+	sizes := []int{32, 8}
+
+	cpuSeq, seq, err := BatchSweep(svc, reqs, sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuPar, par, err := BatchSweep(svc, reqs, sizes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cpuSeq, cpuPar) || !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel batch sweep differs from sequential")
+	}
+	for i, row := range seq {
+		if row.Size != sizes[i] || row.Res == nil {
+			t.Fatalf("row %d: size %d, res %v", i, row.Size, row.Res)
+		}
+	}
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"simr/internal/alloc"
 	"simr/internal/uservices"
@@ -17,41 +16,75 @@ type SensRow struct {
 	Base, Variant float64
 }
 
-// runPair executes the baseline and a mutated option set.
-func runPair(svc *uservices.Service, requests int, seed int64, mutate func(*Options)) (base, variant *Result, err error) {
-	r := rand.New(rand.NewSource(seed))
-	reqs := svc.Generate(r, requests)
-	ob := DefaultOptions()
-	if base, err = RunService(ArchRPU, svc, reqs, ob); err != nil {
+// runPair executes the baseline and a mutated option set on one
+// architecture over the same regenerated request stream.
+func runPair(arch Arch, svc *uservices.Service, requests int, seed int64, mutate func(*Options)) (base, variant *Result, err error) {
+	reqs := genRequests(svc, requests, seed)
+	if base, err = RunService(arch, svc, reqs, DefaultOptions()); err != nil {
 		return nil, nil, err
 	}
 	ov := DefaultOptions()
 	mutate(&ov)
-	if variant, err = RunService(ArchRPU, svc, reqs, ov); err != nil {
+	if variant, err = RunService(arch, svc, reqs, ov); err != nil {
 		return nil, nil, err
 	}
 	return base, variant, nil
 }
 
+// sensPair is one ablation's (baseline, variant) measurement.
+type sensPair struct {
+	base, variant *Result
+}
+
+// sensMutations lists the §V-A1 ablations in report order; each becomes
+// one row of worker-pool cells.
+var sensMutations = []struct {
+	arch   Arch
+	mutate func(*Options)
+}{
+	{ArchRPU, func(o *Options) { o.Lanes = 32 }},
+	{ArchRPU, func(o *Options) { o.AtomicsAtL3 = false }},
+	{ArchRPU, func(o *Options) { o.AllocPolicy = alloc.PolicyCPU }},
+	{ArchRPU, func(o *Options) { o.MajorityVote = false }},
+	{ArchRPU, func(o *Options) { o.UseIPDOM = true }},
+	{ArchRPU, func(o *Options) { o.StackInterleave = false }},
+	{ArchCPU, func(o *Options) { o.CPUPrefetch = true }},
+}
+
 // SensitivityStudy reproduces the §V-A1 sensitivity analyses on the
-// given services and writes the report.
+// given services and writes the report. It is SensitivityStudyParallel
+// on one worker.
 func SensitivityStudy(w io.Writer, suite *uservices.Suite, services []string, requests int, seed int64) error {
+	return SensitivityStudyParallel(w, suite, services, requests, seed, 1)
+}
+
+// SensitivityStudyParallel computes every (ablation, service) pair on a
+// worker pool, then renders the report sections in order from the
+// precomputed results.
+func SensitivityStudyParallel(w io.Writer, suite *uservices.Suite, services []string, requests int, seed int64, workers int) error {
 	if len(services) == 0 {
 		services = suite.Names()
 	}
+	ns := len(services)
+	pairs, err := RunCells(len(sensMutations)*ns, workers, func(i int) (sensPair, error) {
+		m := sensMutations[i/ns]
+		svc := suite.Get(services[i%ns])
+		b, v, err := runPair(m.arch, svc, requests, seed, m.mutate)
+		return sensPair{b, v}, err
+	})
+	if err != nil {
+		return err
+	}
+	pair := func(section, s int) sensPair { return pairs[section*ns+s] }
 
 	// 1. Sub-batch interleaving: 8 SIMT lanes vs full 32-lane width.
 	fmt.Fprintln(w, "-- sub-batch interleaving: 8 lanes vs full 32 lanes (paper: ~4% loss, up to 10% UniqueID)")
 	fmt.Fprintf(w, "%-18s %14s\n", "service", "slowdown @8")
 	var losses []float64
-	for _, name := range services {
-		svc := suite.Get(name)
-		base, variant, err := runPair(svc, requests, seed, func(o *Options) { o.Lanes = 32 })
-		if err != nil {
-			return err
-		}
+	for s, name := range services {
+		p := pair(0, s)
 		// base has 8 lanes (default), variant 32.
-		loss := base.Latency.Mean()/variant.Latency.Mean() - 1
+		loss := p.base.Latency.Mean()/p.variant.Latency.Mean() - 1
 		losses = append(losses, loss)
 		fmt.Fprintf(w, "%-18s %13.1f%%\n", name, 100*loss)
 	}
@@ -61,13 +94,9 @@ func SensitivityStudy(w io.Writer, suite *uservices.Suite, services []string, re
 	fmt.Fprintln(w, "-- atomics at shared L3 vs private L1 (paper: no slowdown observed)")
 	fmt.Fprintf(w, "%-18s %14s\n", "service", "slowdown @L3")
 	var atom []float64
-	for _, name := range services {
-		svc := suite.Get(name)
-		base, variant, err := runPair(svc, requests, seed, func(o *Options) { o.AtomicsAtL3 = false })
-		if err != nil {
-			return err
-		}
-		slow := base.Latency.Mean()/variant.Latency.Mean() - 1
+	for s, name := range services {
+		p := pair(1, s)
+		slow := p.base.Latency.Mean()/p.variant.Latency.Mean() - 1
 		atom = append(atom, slow)
 		fmt.Fprintf(w, "%-18s %13.1f%%\n", name, 100*slow)
 	}
@@ -78,14 +107,10 @@ func SensitivityStudy(w io.Writer, suite *uservices.Suite, services []string, re
 	// throughput on HDSearch.
 	fmt.Fprintln(w, "-- SIMR-aware heap allocator vs CPU allocator (paper: 1.8x L1 throughput on HDSearch)")
 	fmt.Fprintf(w, "%-18s %16s %14s\n", "service", "bank conflicts", "latency gain")
-	for _, name := range services {
-		svc := suite.Get(name)
-		base, variant, err := runPair(svc, requests, seed, func(o *Options) { o.AllocPolicy = alloc.PolicyCPU })
-		if err != nil {
-			return err
-		}
-		bc := ratioOr1(float64(variant.Stats.Mem.L1.BankConflicts), float64(base.Stats.Mem.L1.BankConflicts))
-		lg := variant.Latency.Mean() / base.Latency.Mean()
+	for s, name := range services {
+		p := pair(2, s)
+		bc := ratioOr1(float64(p.variant.Stats.Mem.L1.BankConflicts), float64(p.base.Stats.Mem.L1.BankConflicts))
+		lg := p.variant.Latency.Mean() / p.base.Latency.Mean()
 		fmt.Fprintf(w, "%-18s %15.2fx %13.2fx\n", name, bc, lg)
 	}
 	fmt.Fprintln(w)
@@ -93,15 +118,11 @@ func SensitivityStudy(w io.Writer, suite *uservices.Suite, services []string, re
 	// 4. Majority voting vs lane-0 prediction update.
 	fmt.Fprintln(w, "-- majority voting vs lane-0 branch outcome (paper: energy win, little perf impact)")
 	fmt.Fprintf(w, "%-18s %14s %14s\n", "service", "flushes saved", "perf delta")
-	for _, name := range services {
-		svc := suite.Get(name)
-		base, variant, err := runPair(svc, requests, seed, func(o *Options) { o.MajorityVote = false })
-		if err != nil {
-			return err
-		}
-		fs := ratioOr1(float64(variant.Stats.FlushedLanes+variant.Stats.Mispredicts),
-			float64(base.Stats.FlushedLanes+base.Stats.Mispredicts))
-		pd := variant.Latency.Mean()/base.Latency.Mean() - 1
+	for s, name := range services {
+		p := pair(3, s)
+		fs := ratioOr1(float64(p.variant.Stats.FlushedLanes+p.variant.Stats.Mispredicts),
+			float64(p.base.Stats.FlushedLanes+p.base.Stats.Mispredicts))
+		pd := p.variant.Latency.Mean()/p.base.Latency.Mean() - 1
 		fmt.Fprintf(w, "%-18s %13.2fx %13.1f%%\n", name, fs, 100*pd)
 	}
 	fmt.Fprintln(w)
@@ -109,27 +130,18 @@ func SensitivityStudy(w io.Writer, suite *uservices.Suite, services []string, re
 	// 5. MinSP-PC heuristic vs ideal stack-based IPDOM.
 	fmt.Fprintln(w, "-- MinSP-PC vs ideal IPDOM reconvergence (paper: 91% vs 92% efficiency)")
 	fmt.Fprintf(w, "%-18s %10s %10s\n", "service", "minsp-pc", "ipdom")
-	for _, name := range services {
-		svc := suite.Get(name)
-		base, variant, err := runPair(svc, requests, seed, func(o *Options) { o.UseIPDOM = true })
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%-18s %9.1f%% %9.1f%%\n", name, 100*base.SIMTEff, 100*variant.SIMTEff)
+	for s, name := range services {
+		p := pair(4, s)
+		fmt.Fprintf(w, "%-18s %9.1f%% %9.1f%%\n", name, 100*p.base.SIMTEff, 100*p.variant.SIMTEff)
 	}
 	fmt.Fprintln(w)
 
-	// 6b is appended after the stack-interleave ablation below.
 	// 6. Stack interleaving off (ablation beyond the paper's set).
 	fmt.Fprintln(w, "-- stack physical interleaving on vs off (ablation; drives Figure 14 coalescing)")
 	fmt.Fprintf(w, "%-18s %14s\n", "service", "L1 traffic x")
-	for _, name := range services {
-		svc := suite.Get(name)
-		base, variant, err := runPair(svc, requests, seed, func(o *Options) { o.StackInterleave = false })
-		if err != nil {
-			return err
-		}
-		tr := ratioOr1(variant.L1AccessesPerRequest(), base.L1AccessesPerRequest())
+	for s, name := range services {
+		p := pair(5, s)
+		tr := ratioOr1(p.variant.L1AccessesPerRequest(), p.base.L1AccessesPerRequest())
 		fmt.Fprintf(w, "%-18s %13.2fx\n", name, tr)
 	}
 	fmt.Fprintln(w)
@@ -138,23 +150,11 @@ func SensitivityStudy(w io.Writer, suite *uservices.Suite, services []string, re
 	// ineffective" on microservice heaps).
 	fmt.Fprintln(w, "-- CPU next-line prefetcher (paper Table III: ineffective on microservices)")
 	fmt.Fprintf(w, "%-18s %10s %12s\n", "service", "speedup", "accuracy")
-	for _, name := range services {
-		svc := suite.Get(name)
-		r := rand.New(rand.NewSource(seed))
-		reqs := svc.Generate(r, requests)
-		base, err := RunService(ArchCPU, svc, reqs, DefaultOptions())
-		if err != nil {
-			return err
-		}
-		opts := DefaultOptions()
-		opts.CPUPrefetch = true
-		pf, err := RunService(ArchCPU, svc, reqs, opts)
-		if err != nil {
-			return err
-		}
+	for s, name := range services {
+		p := pair(6, s)
 		fmt.Fprintf(w, "%-18s %9.1f%% %11.1f%%\n", name,
-			100*(base.Latency.Mean()/pf.Latency.Mean()-1),
-			100*pf.Stats.Mem.PF.Accuracy())
+			100*(p.base.Latency.Mean()/p.variant.Latency.Mean()-1),
+			100*p.variant.Stats.Mem.PF.Accuracy())
 	}
 	return nil
 }

@@ -31,6 +31,22 @@ type CacheStats struct {
 	BankConflicts uint64
 }
 
+// Add accumulates o's counts into s.
+func (s *CacheStats) Add(o *CacheStats) {
+	s.Accesses += o.Accesses
+	s.Misses += o.Misses
+	s.Writebacks += o.Writebacks
+	s.BankConflicts += o.BankConflicts
+}
+
+// Sub subtracts o's counts from s (o must be an earlier snapshot).
+func (s *CacheStats) Sub(o *CacheStats) {
+	s.Accesses -= o.Accesses
+	s.Misses -= o.Misses
+	s.Writebacks -= o.Writebacks
+	s.BankConflicts -= o.BankConflicts
+}
+
 // MPKI returns misses per thousand of the given instruction count.
 func (s CacheStats) MPKI(instrs uint64) float64 {
 	if instrs == 0 {

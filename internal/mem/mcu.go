@@ -41,6 +41,24 @@ type MCUStats struct {
 	Emitted      uint64
 }
 
+// Add accumulates o's counts into s.
+func (s *MCUStats) Add(o *MCUStats) {
+	s.Broadcast += o.Broadcast
+	s.Coalesced += o.Coalesced
+	s.Divergent += o.Divergent
+	s.LaneAccesses += o.LaneAccesses
+	s.Emitted += o.Emitted
+}
+
+// Sub subtracts o's counts from s (o must be an earlier snapshot).
+func (s *MCUStats) Sub(o *MCUStats) {
+	s.Broadcast -= o.Broadcast
+	s.Coalesced -= o.Coalesced
+	s.Divergent -= o.Divergent
+	s.LaneAccesses -= o.LaneAccesses
+	s.Emitted -= o.Emitted
+}
+
 // wordBytes is the coalescing word granularity.
 const wordBytes = 4
 

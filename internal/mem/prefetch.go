@@ -20,6 +20,18 @@ type PrefetchStats struct {
 	Useful uint64 // prefetched lines later demanded
 }
 
+// Add accumulates o's counts into s.
+func (s *PrefetchStats) Add(o *PrefetchStats) {
+	s.Issued += o.Issued
+	s.Useful += o.Useful
+}
+
+// Sub subtracts o's counts from s (o must be an earlier snapshot).
+func (s *PrefetchStats) Sub(o *PrefetchStats) {
+	s.Issued -= o.Issued
+	s.Useful -= o.Useful
+}
+
 // Accuracy returns useful / issued.
 func (s PrefetchStats) Accuracy() float64 {
 	if s.Issued == 0 {

@@ -1,0 +1,38 @@
+package mem
+
+import "testing"
+
+func fullSysStats(k uint64) SysStats {
+	return SysStats{
+		L1:           CacheStats{Accesses: 1 * k, Misses: 2 * k, Writebacks: 3 * k, BankConflicts: 4 * k},
+		L2:           CacheStats{Accesses: 5 * k, Misses: 6 * k, Writebacks: 7 * k, BankConflicts: 8 * k},
+		L3:           CacheStats{Accesses: 9 * k, Misses: 10 * k, Writebacks: 11 * k, BankConflicts: 12 * k},
+		TLB:          TLBStats{Accesses: 13 * k, Misses: 14 * k},
+		MCU:          MCUStats{Broadcast: 15 * k, Coalesced: 16 * k, Divergent: 17 * k, LaneAccesses: 18 * k, Emitted: 19 * k},
+		DRAMAccesses: 20 * k,
+		DRAMBytes:    21 * k,
+		AtomicL3:     22 * k,
+		PF:           PrefetchStats{Issued: 23 * k, Useful: 24 * k},
+	}
+}
+
+// TestSysStatsAddDelta exercises every counter: Add must sum all
+// fields, and Delta must invert Add so cumulative snapshots convert to
+// per-run contributions without losing any counter.
+func TestSysStatsAddDelta(t *testing.T) {
+	a, b := fullSysStats(1), fullSysStats(10)
+
+	sum := a
+	sum.Add(&b)
+	if want := fullSysStats(11); sum != want {
+		t.Fatalf("Add: got %+v, want %+v", sum, want)
+	}
+
+	if d := sum.Delta(&a); d != b {
+		t.Fatalf("Delta: got %+v, want %+v", d, b)
+	}
+	var zero SysStats
+	if d := a.Delta(&a); d != zero {
+		t.Fatalf("Delta with itself: got %+v, want zero", d)
+	}
+}

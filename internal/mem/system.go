@@ -35,6 +35,40 @@ type SysStats struct {
 	PF PrefetchStats
 }
 
+// Add accumulates o's counts into s. Study drivers use this to sum the
+// per-run deltas of every cell into an aggregate (the accumulation
+// semantics pipeline.Stats.Accumulate relies on).
+func (s *SysStats) Add(o *SysStats) {
+	s.L1.Add(&o.L1)
+	s.L2.Add(&o.L2)
+	s.L3.Add(&o.L3)
+	s.TLB.Add(&o.TLB)
+	s.MCU.Add(&o.MCU)
+	s.DRAMAccesses += o.DRAMAccesses
+	s.DRAMBytes += o.DRAMBytes
+	s.AtomicL3 += o.AtomicL3
+	s.PF.Add(&o.PF)
+}
+
+// Delta returns s minus prev. System counters are cumulative for the
+// lifetime of a System, so a run's own contribution is the difference
+// between the snapshots taken after and before it; all counters are
+// monotone, so summing consecutive deltas reproduces the final
+// snapshot exactly.
+func (s SysStats) Delta(prev *SysStats) SysStats {
+	out := s
+	out.L1.Sub(&prev.L1)
+	out.L2.Sub(&prev.L2)
+	out.L3.Sub(&prev.L3)
+	out.TLB.Sub(&prev.TLB)
+	out.MCU.Sub(&prev.MCU)
+	out.DRAMAccesses -= prev.DRAMAccesses
+	out.DRAMBytes -= prev.DRAMBytes
+	out.AtomicL3 -= prev.AtomicL3
+	out.PF.Sub(&prev.PF)
+	return out
+}
+
 // System is one core's memory hierarchy instance with its own timing
 // state.
 type System struct {

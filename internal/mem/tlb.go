@@ -27,6 +27,18 @@ type TLBStats struct {
 	Misses   uint64
 }
 
+// Add accumulates o's counts into s.
+func (s *TLBStats) Add(o *TLBStats) {
+	s.Accesses += o.Accesses
+	s.Misses += o.Misses
+}
+
+// Sub subtracts o's counts from s (o must be an earlier snapshot).
+func (s *TLBStats) Sub(o *TLBStats) {
+	s.Accesses -= o.Accesses
+	s.Misses -= o.Misses
+}
+
 // TLB is a banked, fully-associative (within bank), LRU TLB.
 type TLB struct {
 	cfg   TLBConfig

@@ -36,6 +36,27 @@ func BenchmarkRunScalar(b *testing.B) {
 	}
 }
 
+// BenchmarkRunLongTrace guards the slotTable sliding window: a long
+// compute trace must not allocate issue-bookkeeping proportional to
+// its cycle count (the old map kept one entry per busy cycle for the
+// whole run). Pure ALU uops keep memory-hierarchy allocations out of
+// the measurement.
+func BenchmarkRunLongTrace(b *testing.B) {
+	const n = 1 << 18
+	uops := make([]Uop, n)
+	for i := range uops {
+		uops[i] = Uop{Class: isa.IAlu, Dep1: -1, Dep2: -1, ActiveLanes: 1, PC: uint64(i) * 4}
+		if i%4 == 0 && i > 0 {
+			uops[i].Dep1 = int32(i - 1)
+		}
+	}
+	b.SetBytes(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewCore(testCfg()).Run(testMem(), uops)
+	}
+}
+
 func BenchmarkRunBatch(b *testing.B) {
 	cfg := testCfg()
 	cfg.Lanes = 8

@@ -11,6 +11,8 @@
 package pipeline
 
 import (
+	"math/bits"
+
 	"simr/internal/isa"
 	"simr/internal/mem"
 )
@@ -144,9 +146,15 @@ func (r *ring) grant(want uint64) uint64 {
 // issue stage: an instruction whose operands are ready at cycle t
 // takes the first cycle >= t with a free issue slot, independent of
 // program order (a stalled older instruction does not delay ready
-// younger ones).
+// younger ones). Slot counts live in a sliding window of cycles
+// [base, base+len(counts)): cycles behind the fetch frontier can never
+// be asked for again (every issue request is at least one cycle after
+// its uop's fetch grant, and fetch grants only move forward), so
+// advance reclaims them instead of keeping one map entry per busy
+// cycle for the whole run.
 type slotTable struct {
-	counts map[uint64]uint16
+	counts []uint16 // ring indexed by cycle mod len(counts)
+	base   uint64   // lowest cycle still tracked
 	width  uint16
 }
 
@@ -154,17 +162,51 @@ func newSlotTable(w int) *slotTable {
 	if w <= 0 {
 		w = 1
 	}
-	return &slotTable{counts: map[uint64]uint16{}, width: uint16(w)}
+	return &slotTable{counts: make([]uint16, 1024), width: uint16(w)}
 }
 
 // grant consumes one slot at the earliest cycle >= want.
 func (s *slotTable) grant(want uint64) uint64 {
+	if want < s.base {
+		want = s.base
+	}
 	for {
-		if s.counts[want] < s.width {
-			s.counts[want]++
+		for want >= s.base+uint64(len(s.counts)) {
+			s.grow()
+		}
+		if c := &s.counts[want%uint64(len(s.counts))]; *c < s.width {
+			*c++
 			return want
 		}
 		want++
+	}
+}
+
+// advance prunes all cycles below floor. The caller must guarantee no
+// later grant asks for a cycle below floor.
+func (s *slotTable) advance(floor uint64) {
+	if floor <= s.base {
+		return
+	}
+	n := uint64(len(s.counts))
+	end := floor
+	if end > s.base+n {
+		end = s.base + n // cycles past the window were never written
+	}
+	for c := s.base; c < end; c++ {
+		s.counts[c%n] = 0
+	}
+	s.base = floor
+}
+
+// grow doubles the window, re-homing live counts to the new ring
+// positions.
+func (s *slotTable) grow() {
+	old := s.counts
+	n := uint64(len(old))
+	s.counts = make([]uint16, 2*n)
+	for c := s.base; c < s.base+n; c++ {
+		s.counts[c%(2*n)] = old[c%n]
 	}
 }
 
@@ -220,6 +262,9 @@ func (c *Core) Run(ms *mem.System, uops []Uop) Stats {
 
 		// Dispatch: fetch bandwidth, redirect stalls, ROB occupancy.
 		d := fetchR.grant(fetchMin)
+		// Fetch grants are monotone and every issue request below is at
+		// least d+1, so issue slots behind this frontier are dead.
+		issueS.advance(d)
 		if cfg.ROBPerThread > 0 {
 			hist := perThread[u.Thread]
 			if len(hist) >= cfg.ROBPerThread {
@@ -357,18 +402,13 @@ func (c *Core) voteOutcome(u *Uop) bool {
 	return u.TakenMask&low != 0
 }
 
-func popcount(m uint64) int {
-	n := 0
-	for m != 0 {
-		m &= m - 1
-		n++
-	}
-	return n
-}
+func popcount(m uint64) int { return bits.OnesCount64(m) }
 
-// Accumulate adds another run's non-memory counters into s (memory
-// counters come from the shared mem.System snapshot, which is already
-// cumulative across runs).
+// Accumulate adds another run's counters into s, memory counters
+// included. Callers that reuse one mem.System across runs must convert
+// o.Mem (an end-of-run snapshot of cumulative System counters) to the
+// run's own delta first — see mem.SysStats.Delta — or the same events
+// are counted once per remaining run.
 func (s *Stats) Accumulate(o *Stats) {
 	s.Cycles += o.Cycles
 	s.Uops += o.Uops
@@ -383,5 +423,5 @@ func (s *Stats) Accumulate(o *Stats) {
 	s.IssueSlots += o.IssueSlots
 	s.LoadCount += o.LoadCount
 	s.LoadLatSum += o.LoadLatSum
-	s.Mem = o.Mem
+	s.Mem.Add(&o.Mem)
 }

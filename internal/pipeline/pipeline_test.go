@@ -261,6 +261,82 @@ func TestAccumulate(t *testing.T) {
 	}
 }
 
+// memUops builds a load stream spread over distinct lines so every run
+// generates real cache traffic.
+func memUops(n int, stride uint64) []Uop {
+	uops := make([]Uop, n)
+	for i := range uops {
+		uops[i] = Uop{Class: isa.Load, Dep1: -1, Dep2: -1, ActiveLanes: 1,
+			Accesses: []uint64{uint64(i) * stride}}
+	}
+	return uops
+}
+
+// TestAccumulateMemDeltas is the regression test for the old
+// last-writer-wins bug: Accumulate must SUM memory counters, and the
+// sum of per-run deltas on a shared System must equal its final
+// cumulative snapshot.
+func TestAccumulateMemDeltas(t *testing.T) {
+	c := NewCore(testCfg())
+	ms := testMem()
+
+	var total Stats
+	for run := 0; run < 3; run++ {
+		prev := ms.Stats()
+		ms.ResetTiming()
+		st := c.Run(ms, memUops(64, 64))
+		st.Mem = st.Mem.Delta(&prev)
+		if st.Mem.L1.Accesses != 64 {
+			t.Fatalf("run %d delta: %d L1 accesses, want 64", run, st.Mem.L1.Accesses)
+		}
+		total.Accumulate(&st)
+	}
+
+	final := ms.Stats()
+	if total.Mem != final {
+		t.Fatalf("sum of per-run deltas != final snapshot:\n got %+v\nwant %+v", total.Mem, final)
+	}
+	if total.Mem.L1.Accesses != 3*64 {
+		t.Fatalf("accumulated L1 accesses = %d, want %d (old code kept only the last run)",
+			total.Mem.L1.Accesses, 3*64)
+	}
+}
+
+// TestSlotTableWindow pins the sliding-window slotTable to the
+// semantics of the original per-cycle map: same grants for the same
+// request sequence, with pruned cycles never revisited.
+func TestSlotTableWindow(t *testing.T) {
+	s := newSlotTable(2)
+	ref := map[uint64]uint16{} // reference: unbounded per-cycle counts
+	refGrant := func(want uint64) uint64 {
+		for {
+			if ref[want] < 2 {
+				ref[want]++
+				return want
+			}
+			want++
+		}
+	}
+	// Monotone floor with bursts of grants around it, far jumps to
+	// force the ring to grow, and repeated cycles to fill slots.
+	floor := uint64(0)
+	for i := 0; i < 5000; i++ {
+		floor += uint64(i % 3)
+		s.advance(floor)
+		want := floor + 1 + uint64(i%7)*uint64(i%11)
+		if i%13 == 0 {
+			want += 4096 // leap past the window to trigger grow
+		}
+		got := s.grant(want)
+		if exp := refGrant(want); got != exp {
+			t.Fatalf("step %d: grant(%d) = %d, reference %d", i, want, got, exp)
+		}
+	}
+	if len(s.counts) > 1<<20 {
+		t.Fatalf("window grew unboundedly: %d slots", len(s.counts))
+	}
+}
+
 // Property: cycle count is monotone in stream length and at least
 // len/issueWidth.
 func TestQuickCyclesMonotone(t *testing.T) {

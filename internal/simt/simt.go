@@ -8,6 +8,7 @@ package simt
 
 import (
 	"fmt"
+	"math/bits"
 
 	"simr/internal/isa"
 )
@@ -39,14 +40,7 @@ type BatchOp struct {
 // ActiveLanes returns the number of set bits in the active mask.
 func (op *BatchOp) ActiveLanes() int { return popcount(op.Mask) }
 
-func popcount(m uint64) int {
-	n := 0
-	for m != 0 {
-		m &= m - 1
-		n++
-	}
-	return n
-}
+func popcount(m uint64) int { return bits.OnesCount64(m) }
 
 // Result is the outcome of lock-step execution of one batch.
 type Result struct {

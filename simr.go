@@ -124,6 +124,61 @@ func SensitivityStudy(w io.Writer, suite *Suite, services []string, requests int
 	return core.SensitivityStudy(w, suite, services, requests, seed)
 }
 
+// DefaultWorkers is the worker count the parallel studies use when
+// given workers <= 0: one per available CPU.
+func DefaultWorkers() int { return core.DefaultWorkers() }
+
+// RunCells evaluates fn(0..n-1) on a bounded worker pool and returns
+// the results in input order — the primitive all parallel studies are
+// built on. workers == 1 runs inline (sequential); workers <= 0 uses
+// DefaultWorkers.
+func RunCells[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return core.RunCells(n, workers, fn)
+}
+
+// EfficiencyStudyParallel is EfficiencyStudy on a worker pool. Rows
+// are identical to the sequential study for the same seed.
+func EfficiencyStudyParallel(suite *Suite, requests int, seed int64, workers int) ([]EffRow, error) {
+	return core.EfficiencyStudyParallel(suite, requests, seed, workers)
+}
+
+// ChipStudyParallel is ChipStudy on a worker pool. Rows are identical
+// to the sequential study for the same seed.
+func ChipStudyParallel(suite *Suite, requests int, seed int64, withGPU bool, workers int) ([]ChipRow, error) {
+	return core.ChipStudyParallel(suite, requests, seed, withGPU, workers)
+}
+
+// MPKIStudyParallel is MPKIStudy on a worker pool. Rows are identical
+// to the sequential study for the same seed.
+func MPKIStudyParallel(suite *Suite, requests int, seed int64, workers int) ([]MPKIRow, error) {
+	return core.MPKIStudyParallel(suite, requests, seed, workers)
+}
+
+// SensitivityStudyParallel is SensitivityStudy on a worker pool; the
+// report text is identical to the sequential study for the same seed.
+func SensitivityStudyParallel(w io.Writer, suite *Suite, services []string, requests int, seed int64, workers int) error {
+	return core.SensitivityStudyParallel(w, suite, services, requests, seed, workers)
+}
+
+// BatchSweepRow is one RPU batch-size point of a batch-tuning sweep.
+type BatchSweepRow = core.BatchSweepRow
+
+// BatchSweep runs the CPU baseline plus one RPU run per batch size
+// over the same requests on a worker pool (the §III-B3 tuning space).
+func BatchSweep(svc *Service, reqs []Request, sizes []int, workers int) (*Result, []BatchSweepRow, error) {
+	return core.BatchSweep(svc, reqs, sizes, workers)
+}
+
+// MultiBatchRow is one service's §III-A multi-batch interleaving
+// measurement.
+type MultiBatchRow = core.MultiBatchRow
+
+// MultiBatchSweep runs MultiBatchStudy for every service on a worker
+// pool.
+func MultiBatchSweep(suite *Suite, seed int64, workers int) ([]MultiBatchRow, error) {
+	return core.MultiBatchSweep(suite, seed, workers)
+}
+
 // DefaultSystemConfig returns the Figure 22 end-to-end scenario.
 func DefaultSystemConfig() SystemConfig { return queuesim.DefaultConfig() }
 
