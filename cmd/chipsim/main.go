@@ -24,6 +24,7 @@ import (
 
 	"simr/internal/core"
 	"simr/internal/energy"
+	"simr/internal/prof"
 	"simr/internal/uservices"
 )
 
@@ -40,7 +41,15 @@ func main() {
 	gpu := flag.Bool("gpu", true, "include the GPU design point")
 	jsonOut := flag.Bool("json", false, "emit the chip study as JSON instead of tables")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the study sweeps (0 = one per CPU, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	suite := uservices.NewSuite()
 

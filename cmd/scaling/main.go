@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"simr/internal/core"
+	"simr/internal/prof"
 	"simr/internal/uservices"
 )
 
@@ -26,7 +27,15 @@ func main() {
 	requests := flag.Int("requests", 240, "requests per service for -bench")
 	seed := flag.Int64("seed", 42, "workload seed for -bench")
 	parallel := flag.Int("parallel", 0, "worker goroutines for -bench (0 = one per CPU)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	if *bench {
 		benchSweep(*requests, *seed, *parallel)

@@ -187,23 +187,30 @@ func (g *StackGroup) TargetTID(virt uint64) int {
 // across a batch becomes physically contiguous and coalesces into
 // cache lines.
 func (g *StackGroup) Translate(virt uint64, size int) []uint64 {
+	return g.AppendTranslate(nil, virt, size)
+}
+
+// AppendTranslate is Translate writing into a caller-provided buffer:
+// it appends the physical granule addresses to dst and returns the
+// extended slice, allocating only when dst lacks capacity. It is the
+// allocation-free path the per-batch uop conversion uses.
+func (g *StackGroup) AppendTranslate(dst []uint64, virt uint64, size int) []uint64 {
 	if size <= 0 {
 		size = 1
 	}
 	if !g.interleave {
-		return []uint64{virt}
+		return append(dst, virt)
 	}
 	tid := g.TargetTID(virt)
 	if tid < 0 {
-		return []uint64{virt}
+		return append(dst, virt)
 	}
 	off := virt - g.base - uint64(tid)*StackSize
 	first := off / InterleaveBytes
 	last := (off + uint64(size) - 1) / InterleaveBytes
-	out := make([]uint64, 0, last-first+1)
 	for w := first; w <= last; w++ {
 		phys := g.base + w*InterleaveBytes*uint64(g.batchSize) + uint64(tid)*InterleaveBytes
-		out = append(out, phys)
+		dst = append(dst, phys)
 	}
-	return out
+	return dst
 }

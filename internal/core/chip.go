@@ -11,6 +11,7 @@ import (
 	"simr/internal/pipeline"
 	"simr/internal/simt"
 	"simr/internal/stats"
+	"simr/internal/trace"
 	"simr/internal/uservices"
 )
 
@@ -40,6 +41,10 @@ type Options struct {
 	// L1 (Table III ablation: prefetchers are ineffective on
 	// microservice heaps).
 	CPUPrefetch bool
+	// Traces optionally supplies the sweep's shared scalar-trace cache
+	// (see internal/trace); nil interprets every request fresh. Results
+	// are byte-identical either way.
+	Traces *trace.Cache
 }
 
 // DefaultOptions is the paper's baseline RPU configuration. Spin points
@@ -102,82 +107,23 @@ func (r *Result) L1MPKI() float64 {
 	return r.Stats.Mem.L1.MPKI(r.Stats.ScalarOps)
 }
 
-// scalarUops converts a scalar trace into pipeline uops with identity
-// address translation (no interleaving, no coalescing).
-func scalarUops(trace []isa.TraceOp, thread int) []pipeline.Uop {
-	uops := make([]pipeline.Uop, len(trace))
-	for i := range trace {
-		op := &trace[i]
-		u := pipeline.Uop{
-			PC:          op.PC,
-			Class:       op.Class,
-			Dep1:        op.Dep1,
-			Dep2:        op.Dep2,
-			ActiveLanes: 1,
-			Taken:       op.Taken,
-			Thread:      thread,
-		}
-		if op.Class.IsMem() {
-			u.Accesses = []uint64{op.Addr}
-		}
-		uops[i] = u
+// scalarTrace fetches one request's scalar trace through the sweep's
+// cache when the options carry one, interpreting fresh otherwise.
+func scalarTrace(tc *trace.Cache, svc *uservices.Service, req *uservices.Request, tid int, stackBase uint64, policy alloc.Policy, banks int) ([]isa.TraceOp, error) {
+	if tc != nil {
+		return tc.Request(req, tid, stackBase, policy, lineBytes, banks)
 	}
-	return uops
+	arena := alloc.NewArena(tid, policy, lineBytes, banks)
+	return svc.Trace(req, tid, stackBase, arena)
 }
 
-// batchUops converts the lock-step batch stream into pipeline uops:
-// stack addresses are physically interleaved via the batch's stack
-// group (when enabled) and every memory instruction passes through the
-// MCU coalescer.
-func batchUops(ops []simt.BatchOp, sg *alloc.StackGroup, interleave bool, mcu *mem.MCUStats) []pipeline.Uop {
-	uops := make([]pipeline.Uop, len(ops))
-	lanes := make([][]uint64, 0, 64)
-	for i := range ops {
-		op := &ops[i]
-		u := pipeline.Uop{
-			PC:          op.PC,
-			Class:       op.Class,
-			Dep1:        op.Dep1,
-			Dep2:        op.Dep2,
-			ActiveLanes: op.ActiveLanes(),
-			Mask:        op.Mask,
-			TakenMask:   op.TakenMask,
-		}
-		if op.Class.IsMem() {
-			lanes = lanes[:0]
-			for t := range op.Addrs {
-				if op.Mask&(1<<uint(t)) == 0 {
-					continue
-				}
-				a := op.Addrs[t]
-				if interleave && alloc.IsStack(a) {
-					lanes = append(lanes, sg.Translate(a, int(op.Size)))
-				} else {
-					lanes = append(lanes, granules(a, int(op.Size)))
-				}
-			}
-			u.Accesses, _ = mem.Coalesce(lanes, lineBytes, mcu)
-		}
-		uops[i] = u
+// batchTraces fetches a batch's traces through the cache (nil-safe) or
+// the service's fresh interpreter.
+func batchTraces(tc *trace.Cache, svc *uservices.Service, reqs []uservices.Request, sg *alloc.StackGroup, policy alloc.Policy, banks int) ([][]isa.TraceOp, error) {
+	if tc != nil {
+		return tc.Batch(svc, reqs, sg, policy, lineBytes, banks)
 	}
-	return uops
-}
-
-// granules expands one lane's access into the 4-byte words it touches
-// so the MCU sees the full footprint (an 8-byte access from every lane
-// covers a contiguous region even though lane start addresses are 8
-// bytes apart).
-func granules(addr uint64, size int) []uint64 {
-	if size <= 4 {
-		return []uint64{addr}
-	}
-	first := addr &^ 3
-	last := (addr + uint64(size) - 1) &^ 3
-	out := make([]uint64, 0, (last-first)/4+1)
-	for a := first; a <= last; a += 4 {
-		out = append(out, a)
-	}
-	return out
+	return svc.TraceBatch(reqs, sg, policy, lineBytes, banks)
 }
 
 // RunService executes the requests on one core of the architecture and
@@ -189,7 +135,7 @@ func RunService(arch Arch, svc *uservices.Service, reqs []uservices.Request, opt
 	case ArchCPU:
 		return runScalar(arch, svc, reqs, opts)
 	case ArchSMT8:
-		return runSMT(arch, svc, reqs)
+		return runSMT(arch, svc, reqs, opts)
 	case ArchRPU, ArchGPU:
 		return runBatched(arch, svc, reqs, opts)
 	default:
@@ -222,15 +168,16 @@ func runScalar(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts
 	model := EnergyModel(arch)
 
 	sg := alloc.NewStackGroup(0, 1, false)
+	var ub uopBuilder
 	for i := range reqs {
-		arena := alloc.NewArena(0, alloc.PolicyCPU, lineBytes, 1)
-		trace, err := svc.Trace(&reqs[i], 0, sg.StackBase(0), arena)
+		tr, err := scalarTrace(opts.Traces, svc, &reqs[i], 0, sg.StackBase(0), alloc.PolicyCPU, 1)
 		if err != nil {
 			return nil, err
 		}
 		prev := ms.Stats()
 		ms.ResetTiming()
-		st := cpu.Run(ms, scalarUops(trace, 0))
+		ub.reset()
+		st := cpu.Run(ms, ub.scalarUops(tr, 0))
 		st.Mem = st.Mem.Delta(&prev)
 		res.Stats.Accumulate(&st)
 		res.Latency.Add(float64(st.Cycles))
@@ -241,8 +188,9 @@ func runScalar(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts
 
 // runSMT models the SMT-8 CPU: 8 worker threads dispatch round-robin
 // through a shared frontend with per-thread ROB partitions and a shared
-// banked L1.
-func runSMT(arch Arch, svc *uservices.Service, reqs []uservices.Request) (*Result, error) {
+// banked L1. Only the Traces option applies (the SMT core is not an
+// RPU configuration).
+func runSMT(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts Options) (*Result, error) {
 	cfg := PipelineConfig(arch)
 	ms := mem.NewSystem(MemConfig(arch))
 	cpu := pipeline.NewCore(cfg)
@@ -251,22 +199,26 @@ func runSMT(arch Arch, svc *uservices.Service, reqs []uservices.Request) (*Resul
 
 	const ways = 8
 	sg := alloc.NewStackGroup(0, ways, false)
+	var ub uopBuilder
+	streams := make([][]pipeline.Uop, 0, ways)
 	for off := 0; off < len(reqs); off += ways {
 		end := off + ways
 		if end > len(reqs) {
 			end = len(reqs)
 		}
 		group := reqs[off:end]
-		streams := make([][]pipeline.Uop, len(group))
+		// One reset per group: all of the group's streams live in the
+		// arena simultaneously until merged.
+		ub.reset()
+		streams = streams[:0]
 		for t := range group {
-			arena := alloc.NewArena(t, alloc.PolicyCPU, lineBytes, 1)
-			trace, err := svc.Trace(&group[t], t, sg.StackBase(t), arena)
+			tr, err := scalarTrace(opts.Traces, svc, &group[t], t, sg.StackBase(t), alloc.PolicyCPU, 1)
 			if err != nil {
 				return nil, err
 			}
-			streams[t] = scalarUops(trace, t)
+			streams = append(streams, ub.scalarUops(tr, t))
 		}
-		merged := mergeSMT(streams)
+		merged := ub.mergeSMT(streams)
 		prev := ms.Stats()
 		ms.ResetTiming()
 		st := cpu.Run(ms, merged)
@@ -278,39 +230,6 @@ func runSMT(arch Arch, svc *uservices.Service, reqs []uservices.Request) (*Resul
 	}
 	res.Energy = model.Compute(&res.Stats, cfg.FreqGHz)
 	return res, nil
-}
-
-// mergeSMT interleaves per-thread uop streams round-robin and remaps
-// dependency indices into the merged stream.
-func mergeSMT(streams [][]pipeline.Uop) []pipeline.Uop {
-	total := 0
-	for _, s := range streams {
-		total += len(s)
-	}
-	merged := make([]pipeline.Uop, 0, total)
-	remap := make([][]int32, len(streams))
-	cursor := make([]int, len(streams))
-	for t, s := range streams {
-		remap[t] = make([]int32, len(s))
-	}
-	for len(merged) < total {
-		for t, s := range streams {
-			if cursor[t] >= len(s) {
-				continue
-			}
-			u := s[cursor[t]]
-			if u.Dep1 >= 0 {
-				u.Dep1 = remap[t][u.Dep1]
-			}
-			if u.Dep2 >= 0 {
-				u.Dep2 = remap[t][u.Dep2]
-			}
-			remap[t][cursor[t]] = int32(len(merged))
-			cursor[t]++
-			merged = append(merged, u)
-		}
-	}
-	return merged
 }
 
 // runBatched models the RPU (and GPU): the SIMR-aware server forms
@@ -340,20 +259,24 @@ func runBatched(arch Arch, svc *uservices.Service, reqs []uservices.Request, opt
 	res.Batches = len(batches)
 
 	totalScalar, totalBatchOps := 0, 0
+	var (
+		ub uopBuilder
+		sc simt.Scratch
+	)
 	for _, b := range batches {
 		// Snapshot before batchUops: the MCU counters it bumps belong
 		// to this iteration's delta too.
 		prev := ms.Stats()
 		sg := alloc.NewStackGroup(0, len(b.Requests), opts.StackInterleave)
-		traces, err := svc.TraceBatch(b.Requests, sg, opts.AllocPolicy, lineBytes, cfgM.L1.Banks)
+		traces, err := batchTraces(opts.Traces, svc, b.Requests, sg, opts.AllocPolicy, cfgM.L1.Banks)
 		if err != nil {
 			return nil, err
 		}
 		var merged *simt.Result
 		if opts.UseIPDOM {
-			merged, err = simt.RunIPDOM(traces, size, reconv)
+			merged, err = simt.RunIPDOMWith(&sc, traces, size, reconv)
 		} else {
-			merged, err = simt.RunMinSPPC(traces, size, opts.Spin)
+			merged, err = simt.RunMinSPPCWith(&sc, traces, size, opts.Spin)
 		}
 		if err != nil {
 			return nil, err
@@ -361,7 +284,10 @@ func runBatched(arch Arch, svc *uservices.Service, reqs []uservices.Request, opt
 		totalScalar += merged.ScalarOps
 		totalBatchOps += len(merged.Ops)
 
-		uops := batchUops(merged.Ops, sg, opts.StackInterleave, &ms.MCU)
+		// merged aliases sc and uops alias ub: both are consumed by
+		// rpu.Run before the next batch reuses them.
+		ub.reset()
+		uops := ub.batchUops(merged.Ops, sg, opts.StackInterleave, &ms.MCU)
 		ms.ResetTiming()
 		st := rpu.Run(ms, uops)
 		st.Mem = st.Mem.Delta(&prev)

@@ -25,6 +25,8 @@ const (
 	ArchRPU
 	// ArchGPU is an Ampere-like in-order SIMT core.
 	ArchGPU
+	// NumArchs is the number of design points (array sizing).
+	NumArchs = int(ArchGPU) + 1
 )
 
 func (a Arch) String() string {

@@ -8,6 +8,7 @@ import (
 	"simr/internal/batch"
 	"simr/internal/simt"
 	"simr/internal/stats"
+	"simr/internal/trace"
 	"simr/internal/uservices"
 )
 
@@ -25,22 +26,23 @@ type EffRow struct {
 }
 
 // efficiencyOf lock-steps all batches of a policy and returns weighted
-// SIMT efficiency.
-func efficiencyOf(svc *uservices.Service, reqs []uservices.Request, size int, p batch.Policy, ipdom bool) (float64, error) {
+// SIMT efficiency. tc may be nil to interpret traces fresh.
+func efficiencyOf(svc *uservices.Service, reqs []uservices.Request, size int, p batch.Policy, ipdom bool, tc *trace.Cache) (float64, error) {
 	reconv := svc.BranchReconv()
 	scalar, ops := 0, 0
+	var sc simt.Scratch
 	for _, b := range batch.Form(reqs, size, p) {
 		sg := alloc.NewStackGroup(0, len(b.Requests), true)
-		traces, err := svc.TraceBatch(b.Requests, sg, alloc.PolicySIMR, lineBytes, 8)
+		traces, err := batchTraces(tc, svc, b.Requests, sg, alloc.PolicySIMR, 8)
 		if err != nil {
 			return 0, err
 		}
 		var res *simt.Result
 		if ipdom {
-			res, err = simt.RunIPDOM(traces, size, reconv)
+			res, err = simt.RunIPDOMWith(&sc, traces, size, reconv)
 		} else {
 			spin := simt.DefaultSpin
-			res, err = simt.RunMinSPPC(traces, size, &spin)
+			res, err = simt.RunMinSPPCWith(&sc, traces, size, &spin)
 		}
 		if err != nil {
 			return 0, err

@@ -177,18 +177,22 @@ func MultiBatchStudy(svc *uservices.Service, reqs []uservices.Request, opts Opti
 	cfgP := PipelineConfig(ArchRPU)
 	cfgM := MemConfig(ArchRPU)
 
-	var mcu mem.MCUStats
+	var (
+		mcu mem.MCUStats
+		ub  uopBuilder // never reset: streams a and b stay alive together
+		sc  simt.Scratch
+	)
 	mkUops := func(rs []uservices.Request, thread int) ([]pipeline.Uop, error) {
 		sg := alloc.NewStackGroup(0, len(rs), opts.StackInterleave)
-		traces, err := svc.TraceBatch(rs, sg, opts.AllocPolicy, lineBytes, cfgM.L1.Banks)
+		traces, err := batchTraces(opts.Traces, svc, rs, sg, opts.AllocPolicy, cfgM.L1.Banks)
 		if err != nil {
 			return nil, err
 		}
-		merged, err := simt.RunMinSPPC(traces, size, opts.Spin)
+		merged, err := simt.RunMinSPPCWith(&sc, traces, size, opts.Spin)
 		if err != nil {
 			return nil, err
 		}
-		uops := batchUops(merged.Ops, sg, opts.StackInterleave, &mcu)
+		uops := ub.batchUops(merged.Ops, sg, opts.StackInterleave, &mcu)
 		for i := range uops {
 			uops[i].Thread = thread
 		}
@@ -217,7 +221,7 @@ func MultiBatchStudy(svc *uservices.Service, reqs []uservices.Request, opts Opti
 	cfgI.ROBPerThread = cfgP.ROB / 2
 	ms2 := mem.NewSystem(cfgM)
 	core2 := pipeline.NewCore(cfgI)
-	merged := mergeSMT([][]pipeline.Uop{a, b})
+	merged := ub.mergeSMT([][]pipeline.Uop{a, b})
 	si := core2.Run(ms2, merged)
 
 	return &MultiBatchResult{SequentialCycles: seq, InterleavedCycles: si.Cycles}, nil

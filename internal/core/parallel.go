@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"simr/internal/batch"
+	"simr/internal/trace"
 	"simr/internal/uservices"
 )
 
@@ -86,11 +87,77 @@ func RunCells[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 }
 
 // genRequests regenerates a service's request stream from the study
-// seed. Cells never share request slices: regenerating from the same
-// seed is deterministic, so every cell of a study sees the exact
-// stream the sequential loop produced.
+// seed. Regeneration from the same seed is deterministic, so a cell
+// sees the exact stream the sequential loop produced whether it
+// generates its own copy or shares one through sweepCaches.
 func genRequests(svc *uservices.Service, requests int, seed int64) []uservices.Request {
 	return svc.Generate(rand.New(rand.NewSource(seed)), requests)
+}
+
+// disableTraceCache turns off trace caching (and request-stream
+// sharing) for the whole package; the determinism tests flip it to
+// compare cached sweeps against fresh interpretation byte for byte.
+var disableTraceCache bool
+
+// sweepCaches owns one trace.Cache and one shared request stream per
+// service of a sweep, all drawing on a single byte budget. Cells of the
+// same service share the cache and the stream (both read-only); a
+// per-service countdown drops the cache — returning its bytes to the
+// budget — as soon as the service's last cell finishes, so long sweeps
+// never hold every service's traces at once.
+type sweepCaches struct {
+	svcs   []*uservices.Service
+	budget *trace.Budget
+	caches []*trace.Cache
+	reqs   [][]uservices.Request
+	once   []sync.Once
+	left   []atomic.Int32
+}
+
+// newSweepCaches builds the per-service caches for a sweep in which
+// every service is evaluated by cellsPer cells.
+func newSweepCaches(svcs []*uservices.Service, cellsPer int) *sweepCaches {
+	sw := &sweepCaches{
+		svcs:   svcs,
+		budget: trace.NewBudget(0),
+		caches: make([]*trace.Cache, len(svcs)),
+		reqs:   make([][]uservices.Request, len(svcs)),
+		once:   make([]sync.Once, len(svcs)),
+		left:   make([]atomic.Int32, len(svcs)),
+	}
+	for i, svc := range svcs {
+		sw.caches[i] = trace.NewCache(svc, sw.budget)
+		sw.left[i].Store(int32(cellsPer))
+	}
+	return sw
+}
+
+// cache returns service s's trace cache (nil when caching is disabled,
+// which makes every consumer interpret fresh).
+func (sw *sweepCaches) cache(s int) *trace.Cache {
+	if disableTraceCache {
+		return nil
+	}
+	return sw.caches[s]
+}
+
+// requests returns service s's shared request stream, generating it on
+// first use. The stream is read-only for all cells.
+func (sw *sweepCaches) requests(s, n int, seed int64) []uservices.Request {
+	if disableTraceCache {
+		return genRequests(sw.svcs[s], n, seed)
+	}
+	sw.once[s].Do(func() { sw.reqs[s] = genRequests(sw.svcs[s], n, seed) })
+	return sw.reqs[s]
+}
+
+// done marks one of service s's cells finished and drops the service's
+// cache when the last one completes. Cells abandoned on error simply
+// never call done; the sweep's caches become garbage with it.
+func (sw *sweepCaches) done(s int) {
+	if sw.left[s].Add(-1) == 0 {
+		sw.caches[s].Drop()
+	}
 }
 
 // ChipStudyParallel is ChipStudy on a worker pool: one cell per
@@ -101,9 +168,13 @@ func ChipStudyParallel(suite *uservices.Suite, requests int, seed int64, withGPU
 		arches = append(arches, ArchGPU)
 	}
 	na := len(arches)
+	sw := newSweepCaches(suite.Services, na)
 	cells, err := RunCells(len(suite.Services)*na, workers, func(i int) (*Result, error) {
-		svc := suite.Services[i/na]
-		return RunService(arches[i%na], svc, genRequests(svc, requests, seed), DefaultOptions())
+		s := i / na
+		defer sw.done(s)
+		opts := DefaultOptions()
+		opts.Traces = sw.cache(s)
+		return RunService(arches[i%na], suite.Services[s], sw.requests(s, requests, seed), opts)
 	})
 	if err != nil {
 		return nil, err
@@ -132,10 +203,12 @@ func EfficiencyStudyParallel(suite *uservices.Suite, requests int, seed int64, w
 		{batch.PerAPIArgSize, true},
 	}
 	nv := len(variants)
+	sw := newSweepCaches(suite.Services, nv)
 	cells, err := RunCells(len(suite.Services)*nv, workers, func(i int) (float64, error) {
-		svc := suite.Services[i/nv]
+		s := i / nv
+		defer sw.done(s)
 		v := variants[i%nv]
-		return efficiencyOf(svc, genRequests(svc, requests, seed), 32, v.policy, v.ipdom)
+		return efficiencyOf(suite.Services[s], sw.requests(s, requests, seed), 32, v.policy, v.ipdom, sw.cache(s))
 	})
 	if err != nil {
 		return nil, err
@@ -159,13 +232,17 @@ func EfficiencyStudyParallel(suite *uservices.Suite, requests int, seed int64, w
 func MPKIStudyParallel(suite *uservices.Suite, requests int, seed int64, workers int) ([]MPKIRow, error) {
 	sizes := []int{32, 16, 8, 4}
 	nc := 1 + len(sizes) // CPU + one per batch size
+	sw := newSweepCaches(suite.Services, nc)
 	cells, err := RunCells(len(suite.Services)*nc, workers, func(i int) (*Result, error) {
-		svc := suite.Services[i/nc]
-		reqs := genRequests(svc, requests, seed)
-		if i%nc == 0 {
-			return RunService(ArchCPU, svc, reqs, DefaultOptions())
-		}
+		s := i / nc
+		defer sw.done(s)
+		svc := suite.Services[s]
+		reqs := sw.requests(s, requests, seed)
 		opts := DefaultOptions()
+		opts.Traces = sw.cache(s)
+		if i%nc == 0 {
+			return RunService(ArchCPU, svc, reqs, opts)
+		}
 		opts.BatchSize = sizes[i%nc-1]
 		return RunService(ArchRPU, svc, reqs, opts)
 	})
@@ -192,11 +269,14 @@ type BatchSweepRow struct {
 // BatchSweep runs the CPU baseline plus an RPU run per batch size over
 // the same requests on a worker pool (the §III-B3 tuning space).
 func BatchSweep(svc *uservices.Service, reqs []uservices.Request, sizes []int, workers int) (*Result, []BatchSweepRow, error) {
+	sw := newSweepCaches([]*uservices.Service{svc}, 1+len(sizes))
 	cells, err := RunCells(1+len(sizes), workers, func(i int) (*Result, error) {
-		if i == 0 {
-			return RunService(ArchCPU, svc, reqs, DefaultOptions())
-		}
+		defer sw.done(0)
 		opts := DefaultOptions()
+		opts.Traces = sw.cache(0)
+		if i == 0 {
+			return RunService(ArchCPU, svc, reqs, opts)
+		}
 		opts.BatchSize = sizes[i-1]
 		return RunService(ArchRPU, svc, reqs, opts)
 	})
@@ -220,9 +300,13 @@ type MultiBatchRow struct {
 // MultiBatchSweep runs MultiBatchStudy for every service in the suite
 // on a worker pool (two tuned-size batches per service).
 func MultiBatchSweep(suite *uservices.Suite, seed int64, workers int) ([]MultiBatchRow, error) {
+	sw := newSweepCaches(suite.Services, 1)
 	cells, err := RunCells(len(suite.Services), workers, func(i int) (*MultiBatchResult, error) {
+		defer sw.done(i)
 		svc := suite.Services[i]
-		return MultiBatchStudy(svc, genRequests(svc, 2*svc.TunedBatch, seed), DefaultOptions())
+		opts := DefaultOptions()
+		opts.Traces = sw.cache(i)
+		return MultiBatchStudy(svc, sw.requests(i, 2*svc.TunedBatch, seed), opts)
 	})
 	if err != nil {
 		return nil, err

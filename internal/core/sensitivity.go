@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"simr/internal/alloc"
+	"simr/internal/trace"
 	"simr/internal/uservices"
 )
 
@@ -16,19 +18,33 @@ type SensRow struct {
 	Base, Variant float64
 }
 
-// runPair executes the baseline and a mutated option set on one
-// architecture over the same regenerated request stream.
-func runPair(arch Arch, svc *uservices.Service, requests int, seed int64, mutate func(*Options)) (base, variant *Result, err error) {
-	reqs := genRequests(svc, requests, seed)
-	if base, err = RunService(arch, svc, reqs, DefaultOptions()); err != nil {
-		return nil, nil, err
-	}
+// runVariant executes one mutated option set.
+func runVariant(arch Arch, svc *uservices.Service, reqs []uservices.Request, mutate func(*Options), tc *trace.Cache) (*Result, error) {
 	ov := DefaultOptions()
+	ov.Traces = tc
 	mutate(&ov)
-	if variant, err = RunService(arch, svc, reqs, ov); err != nil {
-		return nil, nil, err
-	}
-	return base, variant, nil
+	return RunService(arch, svc, reqs, ov)
+}
+
+// sensBase memoizes one service's baseline runs: every RPU ablation
+// compares against the identical baseline RunService result (same
+// service, same request stream, same default options), so computing it
+// once per (service, architecture) and sharing the Result across cells
+// is byte-identical and saves nearly half the study's simulation work.
+// Results are only ever read after the owning cell's Once completes.
+type sensBase struct {
+	once [NumArchs]sync.Once
+	res  [NumArchs]*Result
+	err  [NumArchs]error
+}
+
+func (b *sensBase) get(arch Arch, svc *uservices.Service, reqs []uservices.Request, tc *trace.Cache) (*Result, error) {
+	b.once[arch].Do(func() {
+		ob := DefaultOptions()
+		ob.Traces = tc
+		b.res[arch], b.err[arch] = RunService(arch, svc, reqs, ob)
+	})
+	return b.res[arch], b.err[arch]
 }
 
 // sensPair is one ablation's (baseline, variant) measurement.
@@ -66,10 +82,22 @@ func SensitivityStudyParallel(w io.Writer, suite *uservices.Suite, services []st
 		services = suite.Names()
 	}
 	ns := len(services)
+	svcs := make([]*uservices.Service, ns)
+	for i, name := range services {
+		svcs[i] = suite.Get(name)
+	}
+	sw := newSweepCaches(svcs, len(sensMutations))
+	bases := make([]sensBase, ns)
 	pairs, err := RunCells(len(sensMutations)*ns, workers, func(i int) (sensPair, error) {
 		m := sensMutations[i/ns]
-		svc := suite.Get(services[i%ns])
-		b, v, err := runPair(m.arch, svc, requests, seed, m.mutate)
+		s := i % ns
+		defer sw.done(s)
+		reqs := sw.requests(s, requests, seed)
+		b, err := bases[s].get(m.arch, svcs[s], reqs, sw.cache(s))
+		if err != nil {
+			return sensPair{}, err
+		}
+		v, err := runVariant(m.arch, svcs[s], reqs, m.mutate, sw.cache(s))
 		return sensPair{b, v}, err
 	})
 	if err != nil {

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"simr/internal/alloc"
+	"simr/internal/isa"
+	"simr/internal/mem"
+	"simr/internal/pipeline"
+	"simr/internal/simt"
+)
+
+// uopBuilder converts trace/batch-op streams into pipeline uops without
+// per-op allocations: uops and their Accesses slices are carved out of
+// growing chunk arenas, and the per-op lane expansion reuses flat
+// buffers. Streams built between two reset calls may all stay alive at
+// once (runSMT keeps 8, MultiBatchStudy keeps 2): when a chunk fills, a
+// fresh one is started and earlier streams keep pointing into the old
+// chunk, whose values are never rewritten. reset recycles only the
+// current chunks, so it must not be called while a previously built
+// stream is still in use. A builder must not be shared between
+// goroutines.
+type uopBuilder struct {
+	uops  []pipeline.Uop // current uop chunk
+	addrs []uint64       // current chunk backing Uop.Accesses
+
+	laneBuf []uint64   // flat per-op lane granule storage
+	lanes   [][]uint64 // per-lane views into laneBuf
+	csc     mem.CoalesceScratch
+
+	// mergeSMT working storage.
+	remapBuf []int32
+	remap    [][]int32
+	cursor   []int
+}
+
+// reset recycles the current chunks for a new, independent run.
+func (b *uopBuilder) reset() {
+	b.uops = b.uops[:0]
+	b.addrs = b.addrs[:0]
+}
+
+// carve returns an n-uop slice from the uop arena; the caller must
+// overwrite every element. Chunks grow geometrically so a steady-state
+// working set (e.g. runSMT's 8 streams plus their merge, every group)
+// converges to a single reused chunk instead of churning fixed-size
+// ones.
+func (b *uopBuilder) carve(n int) []pipeline.Uop {
+	if cap(b.uops)-len(b.uops) < n {
+		c := 2 * cap(b.uops)
+		if c < 1<<12 {
+			c = 1 << 12
+		}
+		if c < n {
+			c = n
+		}
+		b.uops = make([]pipeline.Uop, 0, c)
+	}
+	l := len(b.uops)
+	b.uops = b.uops[:l+n]
+	return b.uops[l : l+n : l+n]
+}
+
+// addrRoom guarantees the address arena can absorb n more words without
+// relocating (so Accesses slices handed out mid-stream stay current).
+func (b *uopBuilder) addrRoom(n int) {
+	if cap(b.addrs)-len(b.addrs) < n {
+		c := 2 * cap(b.addrs)
+		if c < 1<<14 {
+			c = 1 << 14
+		}
+		if c < n {
+			c = n
+		}
+		b.addrs = make([]uint64, 0, c)
+	}
+}
+
+// scalarUops converts a scalar trace into pipeline uops with identity
+// address translation (no interleaving, no coalescing).
+func (b *uopBuilder) scalarUops(trace []isa.TraceOp, thread int) []pipeline.Uop {
+	uops := b.carve(len(trace))
+	b.addrRoom(len(trace))
+	for i := range trace {
+		op := &trace[i]
+		// Field stores (not a struct literal) so the compiler writes the
+		// arena slot in place instead of building and copying a stack
+		// temporary per uop; carve reuses chunk memory, so every field
+		// including the unused ones must be (re)assigned.
+		u := &uops[i]
+		u.PC = op.PC
+		u.Class = op.Class
+		u.Dep1 = op.Dep1
+		u.Dep2 = op.Dep2
+		u.Accesses = nil
+		u.ActiveLanes = 1
+		u.Mask = 0
+		u.TakenMask = 0
+		u.Taken = op.Taken
+		u.Thread = thread
+		if op.Class.IsMem() {
+			l := len(b.addrs)
+			b.addrs = append(b.addrs, op.Addr)
+			u.Accesses = b.addrs[l : l+1 : l+1]
+		}
+	}
+	return uops
+}
+
+// batchUops converts the lock-step batch stream into pipeline uops:
+// stack addresses are physically interleaved via the batch's stack
+// group (when enabled) and every memory instruction passes through the
+// MCU coalescer.
+func (b *uopBuilder) batchUops(ops []simt.BatchOp, sg *alloc.StackGroup, interleave bool, mcu *mem.MCUStats) []pipeline.Uop {
+	uops := b.carve(len(ops))
+	for i := range ops {
+		op := &ops[i]
+		// In-place field stores for the same reason as scalarUops.
+		u := &uops[i]
+		u.PC = op.PC
+		u.Class = op.Class
+		u.Dep1 = op.Dep1
+		u.Dep2 = op.Dep2
+		u.Accesses = nil
+		u.ActiveLanes = op.ActiveLanes()
+		u.Mask = op.Mask
+		u.TakenMask = op.TakenMask
+		u.Taken = false
+		u.Thread = 0
+		if op.Class.IsMem() {
+			b.laneBuf = b.laneBuf[:0]
+			b.lanes = b.lanes[:0]
+			for t := range op.Addrs {
+				if op.Mask&(1<<uint(t)) == 0 {
+					continue
+				}
+				a := op.Addrs[t]
+				start := len(b.laneBuf)
+				if interleave && alloc.IsStack(a) {
+					b.laneBuf = sg.AppendTranslate(b.laneBuf, a, int(op.Size))
+				} else {
+					b.laneBuf = appendGranules(b.laneBuf, a, int(op.Size))
+				}
+				b.lanes = append(b.lanes, b.laneBuf[start:len(b.laneBuf):len(b.laneBuf)])
+			}
+			// The coalescer emits at most one address per input word.
+			b.addrRoom(len(b.laneBuf))
+			l := len(b.addrs)
+			b.addrs, _ = mem.AppendCoalesce(b.addrs, &b.csc, b.lanes, lineBytes, mcu)
+			u.Accesses = b.addrs[l:len(b.addrs):len(b.addrs)]
+		}
+	}
+	return uops
+}
+
+// appendGranules expands one lane's access into the 4-byte words it
+// touches so the MCU sees the full footprint (an 8-byte access from
+// every lane covers a contiguous region even though lane start
+// addresses are 8 bytes apart). The common <=4-byte case appends a
+// single word.
+func appendGranules(dst []uint64, addr uint64, size int) []uint64 {
+	if size <= 4 {
+		return append(dst, addr)
+	}
+	first := addr &^ 3
+	last := (addr + uint64(size) - 1) &^ 3
+	for a := first; a <= last; a += 4 {
+		dst = append(dst, a)
+	}
+	return dst
+}
+
+// mergeSMT interleaves per-thread uop streams round-robin and remaps
+// dependency indices into the merged stream. The input streams are not
+// modified; the merged stream is carved from the builder's arena.
+func (b *uopBuilder) mergeSMT(streams [][]pipeline.Uop) []pipeline.Uop {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	if cap(b.remapBuf) < total {
+		b.remapBuf = make([]int32, total)
+	}
+	if cap(b.remap) < len(streams) {
+		b.remap = make([][]int32, len(streams))
+		b.cursor = make([]int, len(streams))
+	}
+	remap := b.remap[:len(streams)]
+	cursor := b.cursor[:len(streams)]
+	off := 0
+	for t, s := range streams {
+		remap[t] = b.remapBuf[off : off+len(s) : off+len(s)]
+		off += len(s)
+		cursor[t] = 0
+	}
+	merged := b.carve(total)
+	k := 0
+	for k < total {
+		for t, s := range streams {
+			if cursor[t] >= len(s) {
+				continue
+			}
+			dst := &merged[k]
+			*dst = s[cursor[t]]
+			if dst.Dep1 >= 0 {
+				dst.Dep1 = remap[t][dst.Dep1]
+			}
+			if dst.Dep2 >= 0 {
+				dst.Dep2 = remap[t][dst.Dep2]
+			}
+			remap[t][cursor[t]] = int32(k)
+			cursor[t]++
+			k++
+		}
+	}
+	return merged
+}

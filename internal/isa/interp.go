@@ -16,6 +16,19 @@ type frame struct {
 // the dynamic scalar trace. ctx.SP is initialised from ctx.StackBase.
 // maxOps <= 0 selects DefaultMaxOps.
 func Execute(top *Program, ctx *Ctx, maxOps int) ([]TraceOp, error) {
+	hint := int(top.traceLen.Load()) + 64
+	if hint < 1024 {
+		hint = 1024
+	}
+	return ExecuteBuf(top, ctx, maxOps, make([]TraceOp, 0, hint))
+}
+
+// ExecuteBuf is Execute appending into buf's backing array (from
+// buf[:0]), letting callers that do not retain the trace reuse one
+// buffer across requests. The returned slice aliases buf when it had
+// capacity; it is NOT safe to reuse buf until the caller is done with
+// the trace.
+func ExecuteBuf(top *Program, ctx *Ctx, maxOps int, buf []TraceOp) ([]TraceOp, error) {
 	if !top.linked {
 		return nil, fmt.Errorf("isa: program %q executed before Link", top.Name)
 	}
@@ -27,7 +40,7 @@ func Execute(top *Program, ctx *Ctx, maxOps int) ([]TraceOp, error) {
 	}
 	ctx.SP = ctx.StackBase
 
-	ops := make([]TraceOp, 0, 1024)
+	ops := buf[:0]
 	emit := func(in *Instr) error {
 		if len(ops) >= maxOps {
 			return fmt.Errorf("isa: program %q exceeded %d dynamic instructions", top.Name, maxOps)
@@ -120,6 +133,7 @@ func Execute(top *Program, ctx *Ctx, maxOps int) ([]TraceOp, error) {
 			if len(stack) != 0 {
 				return nil, fmt.Errorf("isa: %q ended with %d live frames", prog.Name, len(stack))
 			}
+			top.traceLen.Store(int64(len(ops)))
 			return ops, nil
 		default:
 			return nil, fmt.Errorf("isa: %q block %d has invalid terminator", prog.Name, blk.ID)

@@ -3,6 +3,7 @@ package isa
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Heap is the per-thread dynamic memory interface a program uses for
@@ -126,6 +127,11 @@ type Program struct {
 	callees []*Program
 	linked  bool
 	isFunc  bool
+	// traceLen remembers the last dynamic trace length so Execute can
+	// size its output buffer up front (requests of one program have
+	// similar lengths; a wrong hint only costs a regrow, never changes
+	// the trace).
+	traceLen atomic.Int64
 }
 
 // Size returns the program's encoded size in bytes.

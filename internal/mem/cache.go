@@ -74,30 +74,51 @@ type line struct {
 // Lines are interleaved over banks at line granularity, as in the RPU's
 // multi-bank L1 (which is why TLB entries must be duplicated per bank).
 type Cache struct {
-	cfg      CacheConfig
-	sets     int
-	lines    []line // sets × ways
-	tick     uint64
-	bankFree []uint64 // next cycle each bank can accept an access
-	Stats    CacheStats
+	cfg  CacheConfig
+	sets int
+	// lineShift is log2(LineBytes); tag extraction on the access fast
+	// path is a shift instead of a division. setMask/bankMask replace
+	// the modulo when the count is a power of two (setsPow2/banksPow2),
+	// which all chip geometries are for banks and the L1/L2 for sets.
+	lineShift uint
+	setMask   uint64
+	bankMask  uint64
+	setsPow2  bool
+	banksPow2 bool
+	lines     []line // sets × ways
+	tick      uint64
+	bankFree  []uint64 // next cycle each bank can accept an access
+	Stats     CacheStats
 }
 
-// NewCache builds a cache from cfg; the shape must divide evenly.
+// NewCache builds a cache from cfg; the shape must divide evenly and
+// the line size must be a power of two (LineAddr masks on it).
 func NewCache(cfg CacheConfig) *Cache {
 	if cfg.Banks <= 0 {
 		cfg.Banks = 1
 	}
 	sets := cfg.Sets()
-	if sets == 0 || cfg.SizeBytes%(cfg.Ways*cfg.LineBytes) != 0 {
+	if sets == 0 || cfg.SizeBytes%(cfg.Ways*cfg.LineBytes) != 0 ||
+		cfg.LineBytes&(cfg.LineBytes-1) != 0 {
 		panic(fmt.Sprintf("mem: cache %q shape invalid: size=%d ways=%d line=%d",
 			cfg.Name, cfg.SizeBytes, cfg.Ways, cfg.LineBytes))
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:      cfg,
 		sets:     sets,
 		lines:    make([]line, sets*cfg.Ways),
 		bankFree: make([]uint64, cfg.Banks),
 	}
+	for 1<<c.lineShift < cfg.LineBytes {
+		c.lineShift++
+	}
+	if sets&(sets-1) == 0 {
+		c.setsPow2, c.setMask = true, uint64(sets-1)
+	}
+	if cfg.Banks&(cfg.Banks-1) == 0 {
+		c.banksPow2, c.bankMask = true, uint64(cfg.Banks-1)
+	}
+	return c
 }
 
 // Config returns the cache geometry.
@@ -110,7 +131,19 @@ func (c *Cache) LineAddr(addr uint64) uint64 {
 
 // Bank returns the bank servicing addr (line-granularity interleave).
 func (c *Cache) Bank(addr uint64) int {
-	return int((addr / uint64(c.cfg.LineBytes)) % uint64(c.cfg.Banks))
+	l := addr >> c.lineShift
+	if c.banksPow2 {
+		return int(l & c.bankMask)
+	}
+	return int(l % uint64(c.cfg.Banks))
+}
+
+// set returns the set index for a line tag.
+func (c *Cache) set(tag uint64) int {
+	if c.setsPow2 {
+		return int(tag & c.setMask)
+	}
+	return int(tag % uint64(c.sets))
 }
 
 // BankTime serialises an access on addr's bank starting no earlier than
@@ -134,8 +167,8 @@ func (c *Cache) BankTime(addr uint64, t uint64) uint64 {
 func (c *Cache) Access(addr uint64, write bool) (hit, writeback bool) {
 	c.tick++
 	c.Stats.Accesses++
-	tag := addr / uint64(c.cfg.LineBytes)
-	set := int(tag % uint64(c.sets))
+	tag := addr >> c.lineShift
+	set := c.set(tag)
 	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
 
 	for i := range ways {
@@ -170,8 +203,8 @@ func (c *Cache) Access(addr uint64, write bool) (hit, writeback bool) {
 // MarkDirty sets the dirty bit on addr's line if resident, without
 // counting an access.
 func (c *Cache) MarkDirty(addr uint64) {
-	tag := addr / uint64(c.cfg.LineBytes)
-	set := int(tag % uint64(c.sets))
+	tag := addr >> c.lineShift
+	set := c.set(tag)
 	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
@@ -183,8 +216,8 @@ func (c *Cache) MarkDirty(addr uint64) {
 
 // Probe reports whether addr is resident without updating any state.
 func (c *Cache) Probe(addr uint64) bool {
-	tag := addr / uint64(c.cfg.LineBytes)
-	set := int(tag % uint64(c.sets))
+	tag := addr >> c.lineShift
+	set := c.set(tag)
 	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {

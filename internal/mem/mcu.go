@@ -62,6 +62,24 @@ func (s *MCUStats) Sub(o *MCUStats) {
 // wordBytes is the coalescing word granularity.
 const wordBytes = 4
 
+// CoalesceScratch holds the MCU's working buffers so the per-batch-op
+// hot path (one Coalesce per memory instruction) allocates nothing.
+// Word and line counts per op are tiny (<= lanes x granules-per-lane),
+// so linear scans over these buffers replace the maps a naive
+// implementation would use. The zero value is ready to use; a scratch
+// must not be shared between goroutines.
+type CoalesceScratch struct {
+	words []uint64  // distinct words, first-occurrence order
+	runs  []lineRun // touched lines, first-touch order
+}
+
+// lineRun is the distinct-word run detected within one cache line.
+type lineRun struct {
+	line     uint64
+	min, max uint64
+	count    int
+}
+
 // Coalesce applies the MCU to a batch memory instruction. laneAddrs
 // lists each active lane's physical word addresses (a lane may span
 // two interleaved granules; see alloc.StackGroup.Translate). lineBytes
@@ -75,11 +93,20 @@ const wordBytes = 4
 // (PatternCoalesced). Any other shape is divergent: one access per
 // active lane at its first word.
 func Coalesce(laneAddrs [][]uint64, lineBytes int, stats *MCUStats) ([]uint64, Pattern) {
+	var sc CoalesceScratch
+	return AppendCoalesce(nil, &sc, laneAddrs, lineBytes, stats)
+}
+
+// AppendCoalesce is Coalesce writing into caller-provided storage: the
+// issued addresses are appended to dst (which may be a shared backing
+// arena) and the extended slice is returned. sc supplies the reusable
+// working buffers. The emitted addresses, pattern and statistics are
+// identical to Coalesce's.
+func AppendCoalesce(dst []uint64, sc *CoalesceScratch, laneAddrs [][]uint64, lineBytes int, stats *MCUStats) ([]uint64, Pattern) {
 	active := 0
 	var first uint64
 	allSame := true
 	haveFirst := false
-	words := make([]uint64, 0, len(laneAddrs)*2)
 	for _, as := range laneAddrs {
 		if len(as) == 0 {
 			continue
@@ -92,14 +119,13 @@ func Coalesce(laneAddrs [][]uint64, lineBytes int, stats *MCUStats) ([]uint64, P
 			} else if w != first {
 				allSame = false
 			}
-			words = append(words, w)
 		}
 	}
 	if stats != nil {
 		stats.LaneAccesses += uint64(active)
 	}
 	if active == 0 {
-		return nil, PatternDivergent
+		return dst, PatternDivergent
 	}
 
 	if allSame {
@@ -107,68 +133,75 @@ func Coalesce(laneAddrs [][]uint64, lineBytes int, stats *MCUStats) ([]uint64, P
 			stats.Broadcast++
 			stats.Emitted++
 		}
-		return []uint64{first * wordBytes &^ uint64(lineBytes-1)}, PatternBroadcast
+		return append(dst, first*wordBytes&^uint64(lineBytes-1)), PatternBroadcast
 	}
 
-	// Group distinct words per line and check each line's words form a
-	// consecutive run.
+	// Group distinct words per line (first-occurrence order, duplicate
+	// words ignored) and check each line's words form a consecutive run.
 	wordsPerLine := uint64(lineBytes / wordBytes)
-	type run struct {
-		min, max uint64
-		count    int
-	}
-	lines := map[uint64]*run{}
-	order := make([]uint64, 0, 8)
-	distinct := map[uint64]struct{}{}
-	for _, w := range words {
-		if _, dup := distinct[w]; dup {
-			continue
+	sc.words = sc.words[:0]
+	sc.runs = sc.runs[:0]
+	for _, as := range laneAddrs {
+		for _, a := range as {
+			w := a / wordBytes
+			dup := false
+			for _, seen := range sc.words {
+				if seen == w {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			sc.words = append(sc.words, w)
+			la := w / wordsPerLine
+			found := false
+			for i := range sc.runs {
+				if r := &sc.runs[i]; r.line == la {
+					if w < r.min {
+						r.min = w
+					}
+					if w > r.max {
+						r.max = w
+					}
+					r.count++
+					found = true
+					break
+				}
+			}
+			if !found {
+				sc.runs = append(sc.runs, lineRun{line: la, min: w, max: w, count: 1})
+			}
 		}
-		distinct[w] = struct{}{}
-		la := w / wordsPerLine
-		r, ok := lines[la]
-		if !ok {
-			lines[la] = &run{min: w, max: w, count: 1}
-			order = append(order, la)
-			continue
-		}
-		if w < r.min {
-			r.min = w
-		}
-		if w > r.max {
-			r.max = w
-		}
-		r.count++
 	}
 	consecutive := true
-	for _, r := range lines {
-		if r.max-r.min+1 != uint64(r.count) {
+	for i := range sc.runs {
+		if r := &sc.runs[i]; r.max-r.min+1 != uint64(r.count) {
 			consecutive = false
 			break
 		}
 	}
-	if consecutive && len(lines) < active {
-		out := make([]uint64, 0, len(order))
-		for _, la := range order {
-			out = append(out, la*uint64(lineBytes))
+	if consecutive && len(sc.runs) < active {
+		for i := range sc.runs {
+			dst = append(dst, sc.runs[i].line*uint64(lineBytes))
 		}
 		if stats != nil {
 			stats.Coalesced++
-			stats.Emitted += uint64(len(out))
+			stats.Emitted += uint64(len(sc.runs))
 		}
-		return out, PatternCoalesced
+		return dst, PatternCoalesced
 	}
 
 	// Divergent: one access per active lane, at the lane's first word.
-	out := make([]uint64, 0, active)
 	for _, as := range laneAddrs {
 		if len(as) > 0 {
-			out = append(out, as[0]&^uint64(wordBytes-1))
+			dst = append(dst, as[0]&^uint64(wordBytes-1))
 		}
 	}
 	if stats != nil {
 		stats.Divergent++
-		stats.Emitted += uint64(len(out))
+		stats.Emitted += uint64(active)
 	}
-	return out, PatternDivergent
+	return dst, PatternDivergent
 }

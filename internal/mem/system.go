@@ -69,6 +69,78 @@ func (s SysStats) Delta(prev *SysStats) SysStats {
 	return out
 }
 
+// mshrMax caps the number of outstanding fills tracked before the
+// table is pruned (and, if still saturated, recycled wholesale).
+const mshrMax = 4096
+
+// mshrSlots is the fixed open-addressing table size; occupancy never
+// exceeds mshrMax+1 (System.Access prunes the moment the live count
+// passes mshrMax), so a probe always terminates at an empty slot and
+// the load factor stays ≤ 1/4.
+const mshrSlots = 16384
+
+// mshrTable maps outstanding L1 line fills (line address -> fill
+// completion cycle) with the same key-value semantics as the map it
+// replaces, but without per-insert allocation: linear-probe open
+// addressing over a fixed array, plus an insertion log so clearing
+// between runs costs O(live entries), not O(table).
+type mshrTable struct {
+	keys []uint64 // line+1; 0 marks an empty slot
+	vals []uint64
+	used []int32 // slots occupied since the last clear
+}
+
+func mshrHash(line uint64) uint64 {
+	return (line * 0x9E3779B97F4A7C15) >> 50 % mshrSlots
+}
+
+// get returns the fill cycle registered for line, if any.
+func (m *mshrTable) get(line uint64) (uint64, bool) {
+	if m.keys == nil {
+		return 0, false
+	}
+	for h := mshrHash(line); ; h = (h + 1) % mshrSlots {
+		k := m.keys[h]
+		if k == 0 {
+			return 0, false
+		}
+		if k == line+1 {
+			return m.vals[h], true
+		}
+	}
+}
+
+// put inserts or overwrites line's fill cycle.
+func (m *mshrTable) put(line, fill uint64) {
+	if m.keys == nil {
+		m.keys = make([]uint64, mshrSlots)
+		m.vals = make([]uint64, mshrSlots)
+	}
+	for h := mshrHash(line); ; h = (h + 1) % mshrSlots {
+		switch m.keys[h] {
+		case 0:
+			m.keys[h] = line + 1
+			m.vals[h] = fill
+			m.used = append(m.used, int32(h))
+			return
+		case line + 1:
+			m.vals[h] = fill
+			return
+		}
+	}
+}
+
+// live returns the number of tracked fills.
+func (m *mshrTable) live() int { return len(m.used) }
+
+// clear drops every entry.
+func (m *mshrTable) clear() {
+	for _, h := range m.used {
+		m.keys[h] = 0
+	}
+	m.used = m.used[:0]
+}
+
 // System is one core's memory hierarchy instance with its own timing
 // state.
 type System struct {
@@ -82,7 +154,8 @@ type System struct {
 	// (Table III ablation; off by default).
 	PF           *Prefetcher
 	prefetched   map[uint64]bool
-	mshr         map[uint64]uint64 // outstanding L1 line fills: line -> fill cycle
+	mshr         mshrTable // outstanding L1 line fills
+	mshrScratch  []uint64  // prune survivor buffer (line, fill pairs)
 	dramFree     uint64
 	dramAccesses uint64
 	dramBytes    uint64
@@ -92,12 +165,11 @@ type System struct {
 // NewSystem builds the hierarchy from cfg.
 func NewSystem(cfg SysConfig) *System {
 	return &System{
-		cfg:  cfg,
-		L1:   NewCache(cfg.L1),
-		TLB:  NewTLB(cfg.TLB),
-		L2:   NewCache(cfg.L2),
-		L3:   NewCache(cfg.L3),
-		mshr: map[uint64]uint64{},
+		cfg: cfg,
+		L1:  NewCache(cfg.L1),
+		TLB: NewTLB(cfg.TLB),
+		L2:  NewCache(cfg.L2),
+		L3:  NewCache(cfg.L3),
 	}
 }
 
@@ -201,12 +273,10 @@ func (s *System) Access(addr uint64, write, atomic bool, t uint64) uint64 {
 		return l1Done
 	}
 
-	// Merge with an outstanding fill for the same line.
-	if fill, ok := s.mshr[la]; ok {
-		if fill > l1Done {
-			return fill
-		}
-		delete(s.mshr, la)
+	// Merge with an outstanding fill for the same line. A stale entry
+	// (fill already past) is simply overwritten by the put below.
+	if fill, ok := s.mshr.get(la); ok && fill > l1Done {
+		return fill
 	}
 
 	hit2, wb2 := s.L2.Access(s.L2.LineAddr(la), false)
@@ -221,19 +291,26 @@ func (s *System) Access(addr uint64, write, atomic bool, t uint64) uint64 {
 		// The allocated L1 line is dirty.
 		s.L1.MarkDirty(la)
 	}
-	s.mshr[la] = done
-	if len(s.mshr) > 4096 {
+	s.mshr.put(la, done)
+	if s.mshr.live() > mshrMax {
 		// Amortized prune: drop completed fills; if the table is still
 		// saturated with far-future fills, recycle it wholesale (the
 		// only cost is losing some merge opportunities).
-		for l, f := range s.mshr {
-			if f <= t {
-				delete(s.mshr, l)
+		keep := s.mshrScratch[:0]
+		for _, h := range s.mshr.used {
+			if f := s.mshr.vals[h]; f > t {
+				keep = append(keep, s.mshr.keys[h]-1, f)
 			}
 		}
-		if len(s.mshr) > 4096 {
-			s.mshr = map[uint64]uint64{la: done}
+		s.mshr.clear()
+		if len(keep) > 2*mshrMax {
+			s.mshr.put(la, done)
+		} else {
+			for i := 0; i < len(keep); i += 2 {
+				s.mshr.put(keep[i], keep[i+1])
+			}
 		}
+		s.mshrScratch = keep[:0]
 	}
 	return done
 }
@@ -245,7 +322,7 @@ func (s *System) ResetTiming() {
 	s.L1.ResetTiming()
 	s.L2.ResetTiming()
 	s.L3.ResetTiming()
-	s.mshr = map[uint64]uint64{}
+	s.mshr.clear()
 	s.dramFree = 0
 }
 
@@ -256,7 +333,7 @@ func (s *System) Reset() {
 	s.L2.Reset()
 	s.L3.Reset()
 	s.MCU = MCUStats{}
-	s.mshr = map[uint64]uint64{}
+	s.mshr.clear()
 	s.dramFree = 0
 	s.dramAccesses = 0
 	s.dramBytes = 0

@@ -41,11 +41,18 @@ func (s *TLBStats) Sub(o *TLBStats) {
 
 // TLB is a banked, fully-associative (within bank), LRU TLB.
 type TLB struct {
-	cfg   TLBConfig
-	pages [][]uint64 // per bank, valid entries (page numbers)
-	used  [][]uint64
-	tick  uint64
-	Stats TLBStats
+	cfg TLBConfig
+	// pageShift is log2(PageBytes) when it is a power of two (pagePow2),
+	// making the fast-path translation a shift; likewise bankMask for a
+	// power-of-two bank count.
+	pageShift uint
+	bankMask  int
+	pagePow2  bool
+	banksPow2 bool
+	pages     [][]uint64 // per bank, valid entries (page numbers)
+	used      [][]uint64
+	tick      uint64
+	Stats     TLBStats
 }
 
 // NewTLB builds a TLB from cfg.
@@ -57,6 +64,15 @@ func NewTLB(cfg TLBConfig) *TLB {
 		cfg.PageBytes = PageBytes
 	}
 	t := &TLB{cfg: cfg}
+	if cfg.PageBytes&(cfg.PageBytes-1) == 0 {
+		t.pagePow2 = true
+		for 1<<t.pageShift < cfg.PageBytes {
+			t.pageShift++
+		}
+	}
+	if cfg.Banks&(cfg.Banks-1) == 0 {
+		t.banksPow2, t.bankMask = true, cfg.Banks-1
+	}
 	t.pages = make([][]uint64, cfg.Banks)
 	t.used = make([][]uint64, cfg.Banks)
 	for b := range t.pages {
@@ -73,11 +89,24 @@ func (t *TLB) Lookup(addr uint64, cacheBank int) uint64 {
 	t.tick++
 	t.Stats.Accesses++
 	b := cacheBank % t.cfg.Banks
+	if t.banksPow2 {
+		b = cacheBank & t.bankMask
+	}
 	page := addr / t.cfg.PageBytes
+	if t.pagePow2 {
+		page = addr >> t.pageShift
+	}
 	pages, used := t.pages[b], t.used[b]
 	for i, p := range pages {
 		if p == page {
 			used[i] = t.tick
+			if i > 0 {
+				// Move-to-front so the hot page's scan is O(1). Hits and
+				// victim choice depend only on the (page, used) pair set,
+				// not entry order, so reordering never changes outcomes.
+				pages[0], pages[i] = pages[i], pages[0]
+				used[0], used[i] = used[i], used[0]
+			}
 			return 0
 		}
 	}

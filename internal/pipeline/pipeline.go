@@ -25,7 +25,10 @@ type Uop struct {
 	Class      isa.Class
 	Dep1, Dep2 int32 // producer uop indices in the same stream, -1 none
 	// Accesses are the physical addresses this uop issues to the L1
-	// (already MCU-coalesced for batch mode).
+	// (already MCU-coalesced for batch mode). The slice is borrowed
+	// from the producer's arena (core.uopBuilder) and may alias other
+	// uops' storage: Core.Run and every other consumer must treat it
+	// as read-only and must not retain it past the run.
 	Accesses []uint64
 	// ActiveLanes is the active thread count (1 for scalar mode).
 	ActiveLanes int
@@ -122,11 +125,20 @@ type ring struct {
 	pos   int
 }
 
-func newRing(w int) *ring {
+// init readies the ring for a fresh run, reusing its slot array when
+// the width is unchanged.
+func (r *ring) init(w int) {
 	if w <= 0 {
 		w = 1
 	}
-	return &ring{slots: make([]uint64, w)}
+	if len(r.slots) != w {
+		r.slots = make([]uint64, w)
+	} else {
+		for i := range r.slots {
+			r.slots[i] = 0
+		}
+	}
+	r.pos = 0
 }
 
 // grant returns the earliest time >= want with bandwidth available.
@@ -153,16 +165,29 @@ func (r *ring) grant(want uint64) uint64 {
 // advance reclaims them instead of keeping one map entry per busy
 // cycle for the whole run.
 type slotTable struct {
-	counts []uint16 // ring indexed by cycle mod len(counts)
+	counts []uint16 // ring indexed by cycle & mask (len is a power of two)
+	mask   uint64   // len(counts) - 1
 	base   uint64   // lowest cycle still tracked
 	width  uint16
 }
 
-func newSlotTable(w int) *slotTable {
+// init readies the table for a fresh run. The window keeps whatever
+// size it grew to — grant results depend only on the counts, not the
+// window length, so a larger retained window changes nothing.
+func (s *slotTable) init(w int) {
 	if w <= 0 {
 		w = 1
 	}
-	return &slotTable{counts: make([]uint16, 1024), width: uint16(w)}
+	s.width = uint16(w)
+	if s.counts == nil {
+		s.counts = make([]uint16, 1024)
+		s.mask = 1023
+	} else {
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+	}
+	s.base = 0
 }
 
 // grant consumes one slot at the earliest cycle >= want.
@@ -174,7 +199,7 @@ func (s *slotTable) grant(want uint64) uint64 {
 		for want >= s.base+uint64(len(s.counts)) {
 			s.grow()
 		}
-		if c := &s.counts[want%uint64(len(s.counts))]; *c < s.width {
+		if c := &s.counts[want&s.mask]; *c < s.width {
 			*c++
 			return want
 		}
@@ -193,8 +218,15 @@ func (s *slotTable) advance(floor uint64) {
 	if end > s.base+n {
 		end = s.base + n // cycles past the window were never written
 	}
-	for c := s.base; c < end; c++ {
-		s.counts[c%n] = 0
+	// The pruned cycles [base, end) occupy at most two contiguous runs
+	// of the ring.
+	lo := s.base & s.mask
+	cnt := end - s.base
+	if lo+cnt <= n {
+		clear(s.counts[lo : lo+cnt])
+	} else {
+		clear(s.counts[lo:])
+		clear(s.counts[:lo+cnt-n])
 	}
 	s.base = floor
 }
@@ -206,8 +238,9 @@ func (s *slotTable) grow() {
 	n := uint64(len(old))
 	s.counts = make([]uint16, 2*n)
 	for c := s.base; c < s.base+n; c++ {
-		s.counts[c%(2*n)] = old[c%n]
+		s.counts[c&(2*n-1)] = old[c&(n-1)]
 	}
+	s.mask = 2*n - 1
 }
 
 func max64(a, b uint64) uint64 {
@@ -217,11 +250,32 @@ func max64(a, b uint64) uint64 {
 	return b
 }
 
-// Core bundles a pipeline configuration with its branch predictors.
+// robRing is one SMT thread's dispatch history for partitioned ROBs:
+// a fixed window of the last ROBPerThread dispatched uop indices.
+type robRing struct {
+	buf   []int
+	count int
+}
+
+// runScratch is Core.Run's reusable working storage. completion and
+// retire are reused across runs without clearing: dependency and
+// retire-chain references only ever point backwards, so within one run
+// every slot is written before it can be read.
+type runScratch struct {
+	completion, retire []uint64
+	fetchR, retireR    ring
+	issueS             slotTable
+	threads            []robRing
+}
+
+// Core bundles a pipeline configuration with its branch predictors and
+// the reusable run scratch. A Core must not run on two goroutines at
+// once.
 type Core struct {
 	Cfg Config
 	BP  *Predictor
 	LP  *LoopPredictor
+	sc  runScratch
 }
 
 // NewCore creates a core with a 4K-entry gshare predictor and a 256-
@@ -242,19 +296,31 @@ func (c *Core) Run(ms *mem.System, uops []Uop) Stats {
 	var st Stats
 
 	n := len(uops)
-	completion := make([]uint64, n)
-	retire := make([]uint64, n)
+	if cap(c.sc.completion) < n {
+		grow := 2 * cap(c.sc.completion)
+		if grow < n {
+			grow = n
+		}
+		c.sc.completion = make([]uint64, grow)
+		c.sc.retire = make([]uint64, grow)
+	}
+	completion := c.sc.completion[:n]
+	retire := c.sc.retire[:n]
 
-	fetchR := newRing(cfg.FetchWidth)
-	issueS := newSlotTable(cfg.IssueWidth)
-	retireR := newRing(cfg.RetireWidth)
+	fetchR := &c.sc.fetchR
+	fetchR.init(cfg.FetchWidth)
+	issueS := &c.sc.issueS
+	issueS.init(cfg.IssueWidth)
+	retireR := &c.sc.retireR
+	retireR.init(cfg.RetireWidth)
 
 	var fetchMin uint64  // frontend stalled until (redirects)
 	var lastIssue uint64 // in-order issue constraint
 	// Per-thread dispatch history for partitioned ROBs.
-	var perThread map[int][]int
 	if cfg.ROBPerThread > 0 {
-		perThread = map[int][]int{}
+		for t := range c.sc.threads {
+			c.sc.threads[t].count = 0
+		}
 	}
 
 	for i := range uops {
@@ -266,12 +332,21 @@ func (c *Core) Run(ms *mem.System, uops []Uop) Stats {
 		// least d+1, so issue slots behind this frontier are dead.
 		issueS.advance(d)
 		if cfg.ROBPerThread > 0 {
-			hist := perThread[u.Thread]
-			if len(hist) >= cfg.ROBPerThread {
-				j := hist[len(hist)-cfg.ROBPerThread]
-				d = max64(d, retire[j])
+			for u.Thread >= len(c.sc.threads) {
+				c.sc.threads = append(c.sc.threads, robRing{})
 			}
-			perThread[u.Thread] = append(hist, i)
+			h := &c.sc.threads[u.Thread]
+			if len(h.buf) != cfg.ROBPerThread {
+				h.buf = make([]int, cfg.ROBPerThread)
+			}
+			pos := h.count % cfg.ROBPerThread
+			if h.count >= cfg.ROBPerThread {
+				// The slot about to be overwritten holds the dispatch
+				// exactly ROBPerThread uops back on this thread.
+				d = max64(d, retire[h.buf[pos]])
+			}
+			h.buf[pos] = i
+			h.count++
 		} else if cfg.ROB > 0 && i >= cfg.ROB {
 			d = max64(d, retire[i-cfg.ROB])
 		}

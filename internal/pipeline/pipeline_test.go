@@ -306,7 +306,8 @@ func TestAccumulateMemDeltas(t *testing.T) {
 // semantics of the original per-cycle map: same grants for the same
 // request sequence, with pruned cycles never revisited.
 func TestSlotTableWindow(t *testing.T) {
-	s := newSlotTable(2)
+	var s slotTable
+	s.init(2)
 	ref := map[uint64]uint16{} // reference: unbounded per-cycle counts
 	refGrant := func(want uint64) uint64 {
 		for {

@@ -1,0 +1,101 @@
+// Package seedrng reproduces math/rand.NewSource sequences while
+// amortising the seeding cost across repeated streams with the same
+// seed. rand.NewSource spends ~2000 multiplications warming up its
+// 607-word additive lagged-Fibonacci state; the tracer re-seeds from
+// the same request seed every time a request is interpreted (once per
+// architecture, batch size and ablation in a study sweep), which made
+// seeding alone ~10% of a chip study.
+//
+// The trick: rngSource's outputs ARE its evolving state. Each draw
+// computes vec[feed] += vec[tap] and returns the new vec[feed], with
+// the feed pointer stepping through all 607 slots per cycle. So after
+// the first 607 outputs the generator satisfies the pure recurrence
+//
+//	o[n] = o[n-607] + o[n-273]  (mod 2^64)
+//
+// with no reference to the seeded state at all. Recording the first
+// 607 outputs of a real rand.NewSource(seed) once therefore lets any
+// number of later streams replay them and then continue the recurrence
+// over their own output ring — bit-identical to a fresh source, with
+// seeding paid once per distinct seed.
+package seedrng
+
+import (
+	"math/rand"
+	"sync"
+)
+
+const (
+	rngLen  = 607
+	rngTap  = 273
+	rngMask = 1<<63 - 1
+)
+
+// prefix holds the first rngLen outputs of rand.NewSource(seed).
+type prefix [rngLen]uint64
+
+// maxTables bounds the seed table cache; beyond it the cache is
+// recycled wholesale (later streams re-record, output unchanged).
+const maxTables = 4096
+
+var (
+	mu     sync.Mutex
+	tables = map[int64]*prefix{}
+)
+
+func table(seed int64) *prefix {
+	mu.Lock()
+	defer mu.Unlock()
+	if t, ok := tables[seed]; ok {
+		return t
+	}
+	if len(tables) >= maxTables {
+		tables = map[int64]*prefix{}
+	}
+	t := new(prefix)
+	src := rand.NewSource(seed).(rand.Source64)
+	for i := range t {
+		t[i] = src.Uint64()
+	}
+	tables[seed] = t
+	return t
+}
+
+// Source is a rand.Source64 emitting exactly the sequence of
+// rand.NewSource(seed). Not safe for concurrent use (same contract as
+// math/rand sources).
+type Source struct {
+	pre *prefix
+	vec [rngLen]uint64 // ring of the last rngLen outputs
+	n   int
+}
+
+// New returns a *rand.Rand identical in output to
+// rand.New(rand.NewSource(seed)).
+func New(seed int64) *rand.Rand {
+	return rand.New(&Source{pre: table(seed)})
+}
+
+// Uint64 returns the next value of the underlying sequence.
+func (s *Source) Uint64() uint64 {
+	i := s.n % rngLen
+	var x uint64
+	if s.n < rngLen {
+		x = s.pre[s.n]
+	} else {
+		// o[n-607] sits in the slot being overwritten.
+		x = s.vec[i] + s.vec[(i+rngLen-rngTap)%rngLen]
+	}
+	s.vec[i] = x
+	s.n++
+	return x
+}
+
+// Int63 returns the next value masked to 63 bits, as rngSource does.
+func (s *Source) Int63() int64 { return int64(s.Uint64() & rngMask) }
+
+// Seed restarts the stream from the given seed.
+func (s *Source) Seed(seed int64) {
+	s.pre = table(seed)
+	s.n = 0
+}

@@ -19,23 +19,31 @@ type ipdomEntry struct {
 // post-dominator scheme, the reference the paper compares MinSP-PC
 // against. reconv maps each conditional branch's global PC to its
 // immediate post-dominator's PC (see isa.Program.BranchReconv).
-// batchSize <= 0 defaults to the number of traces.
+// batchSize <= 0 defaults to the number of traces. The result is
+// freshly allocated and owned by the caller.
 func RunIPDOM(traces [][]isa.TraceOp, batchSize int, reconv map[uint64]uint64) (*Result, error) {
+	return RunIPDOMWith(nil, traces, batchSize, reconv)
+}
+
+// RunIPDOMWith is RunIPDOM drawing all working storage from sc (nil sc
+// allocates fresh). The returned Result aliases the scratch and is
+// valid only until the next run on the same scratch.
+func RunIPDOMWith(sc *Scratch, traces [][]isa.TraceOp, batchSize int, reconv map[uint64]uint64) (*Result, error) {
 	if len(traces) == 0 || len(traces) > MaxBatch {
 		return nil, fmt.Errorf("simt: batch of %d traces unsupported", len(traces))
 	}
 	if batchSize <= 0 {
 		batchSize = len(traces)
 	}
-	st := newExecutorState(traces)
+	st := newExecutorState(sc, traces)
 
 	all := uint64(0)
 	for t := range traces {
 		all |= 1 << uint(t)
 	}
-	stack := []ipdomEntry{{mask: all}}
+	stack := append(st.sc.stack[:0], ipdomEntry{mask: all})
 
-	threads := make([]int, 0, len(traces))
+	threads := st.takeThreads(len(traces))
 	for len(stack) > 0 {
 		e := &stack[len(stack)-1]
 
@@ -117,5 +125,6 @@ func RunIPDOM(traces [][]isa.TraceOp, batchSize int, reconv map[uint64]uint64) (
 		}
 	}
 
+	st.sc.stack = stack[:0] // keep any growth for the next run
 	return st.result(batchSize), nil
 }

@@ -91,26 +91,105 @@ func keyLess(a, b key) bool {
 	return a.pc < b.pc
 }
 
+// Scratch holds the lock-step executors' working storage so repeated
+// runs (one per batch, thousands per study cell) reuse buffers instead
+// of reallocating them. The zero value is ready to use; a Scratch must
+// not be shared between goroutines. A Result produced through a
+// *With executor aliases the scratch (its Ops slice and their Addrs)
+// and is valid only until the next run on the same scratch — consume
+// or copy it first.
+type Scratch struct {
+	cursor  []int
+	b2i     [][]int32
+	b2iBuf  []int32 // flat arena backing the per-thread b2i slices
+	addrBuf []uint64
+	ops     []BatchOp
+	threads []int
+	stack   []ipdomEntry
+}
+
 // executorState holds the shared per-thread cursor machinery.
 type executorState struct {
 	traces [][]isa.TraceOp
 	cursor []int
 	b2i    [][]int32 // scalar index -> batch op index, per thread
 	ops    []BatchOp
+	sc     *Scratch
 	scalar int
 }
 
-func newExecutorState(traces [][]isa.TraceOp) *executorState {
+func newExecutorState(sc *Scratch, traces [][]isa.TraceOp) *executorState {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	n := len(traces)
+	if cap(sc.cursor) < n {
+		sc.cursor = make([]int, n)
+	}
+	if cap(sc.b2i) < n {
+		sc.b2i = make([][]int32, n)
+	}
+	total := 0
+	for _, tr := range traces {
+		total += len(tr)
+	}
+	if cap(sc.b2iBuf) < total {
+		sc.b2iBuf = make([]int32, total)
+	}
 	st := &executorState{
 		traces: traces,
-		cursor: make([]int, len(traces)),
-		b2i:    make([][]int32, len(traces)),
+		cursor: sc.cursor[:n],
+		b2i:    sc.b2i[:n],
+		ops:    sc.ops[:0],
+		sc:     sc,
+		scalar: total,
 	}
+	for t := range st.cursor {
+		st.cursor[t] = 0
+	}
+	// b2i entries need no zeroing: an entry is read (as a dep target)
+	// only after the same run wrote it, since deps point backwards
+	// within a thread's trace.
+	off := 0
 	for t, tr := range traces {
-		st.b2i[t] = make([]int32, len(tr))
-		st.scalar += len(tr)
+		st.b2i[t] = sc.b2iBuf[off : off+len(tr) : off+len(tr)]
+		off += len(tr)
 	}
+	sc.addrBuf = sc.addrBuf[:0]
 	return st
+}
+
+// allocAddrs carves a zeroed n-word Addrs slice out of the scratch
+// arena. When the current chunk is full a fresh one is started; slices
+// handed out earlier keep pointing into the old chunk, whose values
+// are never rewritten.
+func (st *executorState) allocAddrs(n int) []uint64 {
+	sc := st.sc
+	if cap(sc.addrBuf)-len(sc.addrBuf) < n {
+		c := 2 * cap(sc.addrBuf)
+		if c < 1<<14 {
+			c = 1 << 14
+		}
+		if c < n {
+			c = n
+		}
+		sc.addrBuf = make([]uint64, 0, c)
+	}
+	l := len(sc.addrBuf)
+	sc.addrBuf = sc.addrBuf[:l+n]
+	a := sc.addrBuf[l : l+n : l+n]
+	for i := range a {
+		a[i] = 0
+	}
+	return a
+}
+
+// takeThreads returns the scratch's empty thread-selection buffer.
+func (st *executorState) takeThreads(n int) []int {
+	if cap(st.sc.threads) < n {
+		st.sc.threads = make([]int, 0, n)
+	}
+	return st.sc.threads[:0]
 }
 
 func (st *executorState) done(t int) bool { return st.cursor[t] >= len(st.traces[t]) }
@@ -134,7 +213,7 @@ func (st *executorState) step(threads []int) (int, error) {
 		Dep2:  -1,
 	}
 	if first.Class.IsMem() {
-		op.Addrs = make([]uint64, len(st.traces))
+		op.Addrs = st.allocAddrs(len(st.traces))
 	}
 	idx := len(st.ops)
 	for _, t := range threads {
@@ -168,6 +247,7 @@ func (st *executorState) step(threads []int) (int, error) {
 }
 
 func (st *executorState) result(batchSize int) *Result {
+	st.sc.ops = st.ops // keep any growth for the next run
 	return &Result{Ops: st.ops, ScalarOps: st.scalar, BatchSize: batchSize}
 }
 
@@ -176,15 +256,23 @@ func (st *executorState) result(batchSize int) *Result {
 // SP), breaking ties by lowest PC, selects the path; every live thread
 // at the same (SP, PC) joins the active mask. spin may be nil to
 // disable the livelock mitigation. batchSize <= 0 defaults to the
-// number of traces.
+// number of traces. The result is freshly allocated and owned by the
+// caller.
 func RunMinSPPC(traces [][]isa.TraceOp, batchSize int, spin *SpinConfig) (*Result, error) {
+	return RunMinSPPCWith(nil, traces, batchSize, spin)
+}
+
+// RunMinSPPCWith is RunMinSPPC drawing all working storage from sc
+// (nil sc allocates fresh). The returned Result aliases the scratch
+// and is valid only until the next run on the same scratch.
+func RunMinSPPCWith(sc *Scratch, traces [][]isa.TraceOp, batchSize int, spin *SpinConfig) (*Result, error) {
 	if len(traces) == 0 || len(traces) > MaxBatch {
 		return nil, fmt.Errorf("simt: batch of %d traces unsupported", len(traces))
 	}
 	if batchSize <= 0 {
 		batchSize = len(traces)
 	}
-	st := newExecutorState(traces)
+	st := newExecutorState(sc, traces)
 
 	// Spin-detection state: the stuck key is the minimum key among
 	// threads that were NOT selected; if it survives unchanged across a
@@ -193,7 +281,7 @@ func RunMinSPPC(traces [][]isa.TraceOp, batchSize int, spin *SpinConfig) (*Resul
 	haveStuck := false
 	stuckRun, windowAtomics, grant, switches := 0, 0, 0, 0
 
-	threads := make([]int, 0, len(traces))
+	threads := st.takeThreads(len(traces))
 	for {
 		haveBest := false
 		var best key

@@ -1,0 +1,303 @@
+// Package trace provides a read-only scalar-trace cache for the study
+// sweeps. Every study cell (arch × service × batch-size × policy)
+// replays the same request stream, and a request's dynamic trace is a
+// pure function of (program/API, args, seed) plus the layout inputs the
+// driver derives from the batch position: thread index (which fixes the
+// stack base, since every study lays batch 0's stacks at the same
+// region), heap allocation policy and the L1 geometry the SIMR-aware
+// allocator aligns against. Interpreting each distinct key once per
+// sweep and sharing the resulting trace read-only across the
+// core.RunCells workers removes the interpreter cost that otherwise
+// scales with the number of cells instead of the number of requests.
+//
+// Cached traces MUST be treated as immutable: the SIMT lock-step
+// executor, the uop converters and isa.Summarize all only read TraceOp
+// slices, and any new consumer has to preserve that. Caching never
+// changes results — a hit returns exactly the trace a fresh
+// interpretation would produce — so study output stays byte-identical
+// whether or not (and how often) the cache is consulted.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"simr/internal/alloc"
+	"simr/internal/isa"
+	"simr/internal/uservices"
+)
+
+// traceOpBytes is the retained-memory cost of one cached TraceOp.
+const traceOpBytes = int64(unsafe.Sizeof(isa.TraceOp{}))
+
+// DefaultBudgetBytes bounds the bytes of trace data a sweep retains by
+// default. Studies at the paper's 2400 requests/service generate more
+// trace data than fits comfortably in memory, so the cache degrades to
+// interpreting fresh (never to wrong results) once the budget is spent;
+// dropping a service's cache when its cells finish returns its bytes.
+const DefaultBudgetBytes = 512 << 20
+
+// Budget is a byte budget shared by the caches of one sweep. It bounds
+// the total retained trace bytes across all services regardless of how
+// the worker pool interleaves their cells.
+type Budget struct{ left atomic.Int64 }
+
+// NewBudget returns a budget of maxBytes (<= 0 selects
+// DefaultBudgetBytes).
+func NewBudget(maxBytes int64) *Budget {
+	if maxBytes <= 0 {
+		maxBytes = DefaultBudgetBytes
+	}
+	b := &Budget{}
+	b.left.Store(maxBytes)
+	return b
+}
+
+// reserve takes n bytes from the budget, reporting whether they were
+// available.
+func (b *Budget) reserve(n int64) bool {
+	if b == nil {
+		return true
+	}
+	if b.left.Add(-n) >= 0 {
+		return true
+	}
+	b.left.Add(n)
+	return false
+}
+
+// release returns n bytes to the budget.
+func (b *Budget) release(n int64) {
+	if b != nil {
+		b.left.Add(n)
+	}
+}
+
+// key identifies one cacheable trace of the cache's service. The stack
+// base is implied by tid (all chip-level studies lay out batch 0's
+// stacks from alloc.StackRegion) but is keyed explicitly so a caller
+// with an unusual layout degrades to extra misses, never to a wrong
+// trace.
+type key struct {
+	api       string
+	args      string // req.Args packed little-endian
+	seed      int64
+	stackBase uint64
+	tid       int32
+	lineBytes int32
+	banks     int32
+	policy    alloc.Policy
+}
+
+// packArgs encodes an argument vector into a comparable string without
+// retaining the caller's slice.
+func packArgs(args []uint64) string {
+	buf := make([]byte, 8*len(args))
+	for i, a := range args {
+		for b := 0; b < 8; b++ {
+			buf[8*i+b] = byte(a >> (8 * b))
+		}
+	}
+	return string(buf)
+}
+
+// entry is one cache slot. ready is closed once ops/err are final;
+// concurrent requesters of the same key wait instead of re-interpreting
+// (singleflight).
+type entry struct {
+	ready chan struct{}
+	ops   []isa.TraceOp
+	err   error
+	// retained records whether the entry holds a budget reservation; it
+	// is written before ready closes and read only after.
+	retained bool
+}
+
+// Cache memoises the scalar traces of one service for the duration of
+// one sweep. It is safe for concurrent use. The zero Cache is not
+// usable; a nil *Cache is accepted everywhere and interprets fresh.
+type Cache struct {
+	svc    *uservices.Service
+	budget *Budget
+
+	mu sync.Mutex
+	m  map[key]*entry
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	bypassed atomic.Uint64
+	bytes    atomic.Int64
+}
+
+// NewCache returns a cache for svc drawing on the shared budget
+// (budget may be nil for an unbounded cache).
+func NewCache(svc *uservices.Service, budget *Budget) *Cache {
+	return &Cache{svc: svc, budget: budget, m: map[key]*entry{}}
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits, Misses, Bypassed uint64
+	Bytes                  int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Bypassed: c.bypassed.Load(),
+		Bytes:    c.bytes.Load(),
+	}
+}
+
+// interpBufs recycles interpreter buffers across requests: the trace is
+// built in a pooled scratch slice and copied out at its exact final
+// size. TraceOp is pointer-free, so the exact-size copy allocates
+// without the backing-array zeroing a capacity-hinted make pays, and
+// the (typically multi-megabyte) scratch array is reused instead of
+// churned per miss.
+var interpBufs = sync.Pool{New: func() any { return new([]isa.TraceOp) }}
+
+// interpret runs the service's program for the request exactly like
+// uservices.Service.Trace with a fresh arena — the uncached path.
+func interpret(svc *uservices.Service, req *uservices.Request, tid int, stackBase uint64, policy alloc.Policy, lineBytes, banks int) ([]isa.TraceOp, error) {
+	arena := alloc.NewArena(tid, policy, lineBytes, banks)
+	buf := interpBufs.Get().(*[]isa.TraceOp)
+	ops, err := svc.TraceInto(req, tid, stackBase, arena, (*buf)[:0])
+	var out []isa.TraceOp
+	if err == nil {
+		out = append([]isa.TraceOp(nil), ops...)
+	}
+	if cap(ops) > cap(*buf) {
+		*buf = ops[:0]
+	}
+	interpBufs.Put(buf)
+	return out, err
+}
+
+// Request returns the scalar trace for the request at batch position
+// tid with the given stack base and heap-allocator geometry,
+// interpreting it at most once per cache lifetime. The returned slice
+// is shared and read-only. The receiver must be non-nil (a nil cache
+// does not know its service; use Batch, or call
+// uservices.Service.Trace directly, for the uncached path).
+func (c *Cache) Request(req *uservices.Request, tid int, stackBase uint64, policy alloc.Policy, lineBytes, banks int) ([]isa.TraceOp, error) {
+	k := key{
+		api:       req.API,
+		args:      packArgs(req.Args),
+		seed:      req.Seed,
+		stackBase: stackBase,
+		tid:       int32(tid),
+		lineBytes: int32(lineBytes),
+		banks:     int32(banks),
+		policy:    policy,
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		// Dropped: serve fresh without re-populating.
+		c.mu.Unlock()
+		c.bypassed.Add(1)
+		return interpret(c.svc, req, tid, stackBase, policy, lineBytes, banks)
+	}
+	if e, ok := c.m[k]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.ready
+		return e.ops, e.err
+	}
+	e := &entry{ready: make(chan struct{})}
+	c.m[k] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	e.ops, e.err = interpret(c.svc, req, tid, stackBase, policy, lineBytes, banks)
+	cost := traceOpBytes * int64(len(e.ops))
+	retained := false
+	if e.err == nil && c.budget.reserve(cost) {
+		// Keep the entry only if it is still mapped (Drop may have raced
+		// with the interpretation) so every retained byte is released
+		// exactly once.
+		c.mu.Lock()
+		retained = c.m != nil && c.m[k] == e
+		c.mu.Unlock()
+		if retained {
+			c.bytes.Add(cost)
+			e.retained = true
+		} else {
+			c.budget.release(cost)
+		}
+	}
+	if e.err == nil && !retained {
+		// Over budget (or dropped): hand the trace to any waiters — it
+		// is already computed — but do not retain it; future requests
+		// for this key re-interpret.
+		c.bypassed.Add(1)
+		c.mu.Lock()
+		if c.m != nil && c.m[k] == e {
+			delete(c.m, k)
+		}
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.ops, e.err
+}
+
+// Batch traces every request of a batch through the cache with
+// per-thread stacks and arenas, mirroring uservices.Service.TraceBatch.
+// The per-thread trace slices are shared and read-only.
+func (c *Cache) Batch(svc *uservices.Service, reqs []uservices.Request, sg *alloc.StackGroup, policy alloc.Policy, lineBytes, banks int) ([][]isa.TraceOp, error) {
+	traces := make([][]isa.TraceOp, len(reqs))
+	for t := range reqs {
+		var (
+			tr  []isa.TraceOp
+			err error
+		)
+		if c == nil {
+			tr, err = interpret(svc, &reqs[t], t, sg.StackBase(t), policy, lineBytes, banks)
+		} else {
+			tr, err = c.Request(&reqs[t], t, sg.StackBase(t), policy, lineBytes, banks)
+		}
+		if err != nil {
+			return nil, err
+		}
+		traces[t] = tr
+	}
+	return traces, nil
+}
+
+// Drop releases the cache's entries and returns their bytes to the
+// budget. Subsequent Requests interpret fresh. Safe to call
+// concurrently with Request.
+func (c *Cache) Drop() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	m := c.m
+	c.m = nil
+	c.mu.Unlock()
+	if m == nil {
+		return
+	}
+	var freed int64
+	for _, e := range m {
+		select {
+		case <-e.ready:
+			// Only entries that completed AND kept their reservation
+			// count: an in-flight interpreter re-checks map membership
+			// before retaining and releases its own reservation when it
+			// finds the map dropped.
+			if e.retained {
+				freed += traceOpBytes * int64(len(e.ops))
+			}
+		default:
+		}
+	}
+	c.bytes.Add(-freed)
+	c.budget.release(freed)
+}
