@@ -1,0 +1,195 @@
+// Command benchjson times the intra-run prep pipeline against the
+// sequential oracle on the studies the pipeline targets and appends a
+// machine-readable entry to a bench-trajectory JSON file (default
+// BENCH_pipeline.json). Each measured pair also cross-checks that the
+// two modes render byte-identical output, so the trajectory can only
+// ever record speedups of equivalent computations.
+//
+// Usage:
+//
+//	benchjson [-requests 240] [-seed 42] [-workers 8] [-out BENCH_pipeline.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"simr/internal/core"
+	"simr/internal/queuesim"
+	"simr/internal/uservices"
+)
+
+// BenchResult is one seq-vs-pipelined wall-clock pair.
+type BenchResult struct {
+	Name       string  `json:"name"`
+	SeqSec     float64 `json:"seq_s"`
+	PipeSec    float64 `json:"pipelined_s"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"outputs_identical"`
+	WhatDiffer string  `json:"pipelined_config"`
+}
+
+// BenchEntry is one appended trajectory point.
+type BenchEntry struct {
+	Timestamp  string        `json:"timestamp"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	Requests   int           `json:"requests"`
+	Seed       int64         `json:"seed"`
+	Results    []BenchResult `json:"results"`
+}
+
+func main() {
+	requests := flag.Int("requests", 240, "requests per service for the chip-study measurements")
+	seed := flag.Int64("seed", 42, "workload seed")
+	workers := flag.Int("workers", 8, "sweep worker goroutines for the parallel/pipelined runs")
+	seconds := flag.Float64("seconds", 1, "simulated seconds per syssim load point")
+	out := flag.String("out", "BENCH_pipeline.json", "bench trajectory file to append to")
+	flag.Parse()
+
+	suite := uservices.NewSuite()
+	entry := BenchEntry{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+		Requests:   *requests,
+		Seed:       *seed,
+	}
+
+	entry.Results = append(entry.Results,
+		benchChipStudy(suite, *requests, *seed, *workers),
+		benchBatchSweep(suite, *requests, *seed, *workers),
+		benchSyssim(*seconds, *seed, *workers),
+	)
+
+	for _, r := range entry.Results {
+		fmt.Printf("%-22s seq %7.3fs  pipelined %7.3fs  speedup %.2fx  identical=%v\n",
+			r.Name, r.SeqSec, r.PipeSec, r.Speedup, r.Identical)
+		if !r.Identical {
+			log.Fatalf("%s: outputs differ between sequential and pipelined runs", r.Name)
+		}
+	}
+	if err := appendEntry(*out, entry); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("appended to %s\n", *out)
+}
+
+// timed runs f and returns its wall-clock seconds alongside its output.
+func timed(f func() []byte) (float64, []byte) {
+	t0 := time.Now()
+	b := f()
+	return time.Since(t0).Seconds(), b
+}
+
+// pair runs the sequential oracle (prep lookahead pinned to 0, one
+// sweep worker where the sequential baseline is a 1-worker sweep) and
+// the pipelined configuration at a fixed lookahead — pinned rather
+// than auto-derived so the pipeline engages regardless of how many
+// CPUs the sweep pool already claims — restoring automatic lookahead
+// afterward.
+func pair(name, config string, seq, pipe func() []byte) BenchResult {
+	core.SetPrepLookahead(0)
+	seqSec, seqOut := timed(seq)
+	core.SetPrepLookahead(2)
+	pipeSec, pipeOut := timed(pipe)
+	core.SetPrepLookahead(-1)
+	return BenchResult{
+		Name:       name,
+		SeqSec:     seqSec,
+		PipeSec:    pipeSec,
+		Speedup:    seqSec / pipeSec,
+		Identical:  bytes.Equal(seqOut, pipeOut),
+		WhatDiffer: config,
+	}
+}
+
+// benchChipStudy is the Figure 19 grid (the full chip study) with and
+// without the prep pipeline, both on the same worker pool.
+func benchChipStudy(suite *uservices.Suite, requests int, seed int64, workers int) BenchResult {
+	run := func(w int) []byte {
+		rows, err := core.ChipStudyParallel(suite, requests, seed, false, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		core.WriteFig19(&buf, rows)
+		return buf.Bytes()
+	}
+	return pair("chipstudy-fig19", "lookahead=2", func() []byte { return run(workers) }, func() []byte { return run(workers) })
+}
+
+// benchBatchSweep is the §III-B3 single-service tuning sweep: few
+// cells, long runs — the shape the intra-run pipeline targets.
+func benchBatchSweep(suite *uservices.Suite, requests int, seed int64, workers int) BenchResult {
+	svc := suite.Get("memc")
+	reqs := svc.Generate(rand.New(rand.NewSource(seed)), requests)
+	run := func() []byte {
+		cpu, rows, err := core.BatchSweep(svc, reqs, []int{4, 8, 16, 32, 64}, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "cpu %d\n", cpu.Stats.Cycles)
+		for _, r := range rows {
+			fmt.Fprintf(&buf, "%d %d %.6f\n", r.Size, r.Res.Stats.Cycles, r.Res.Latency.Mean())
+		}
+		return buf.Bytes()
+	}
+	return pair("batchsweep-memc", "lookahead=2", run, run)
+}
+
+// benchSyssim is the 12-point Figure 22 grid: sequential loop vs the
+// fanned-out sweep (the prep pipeline does not apply to queuesim; this
+// measures the sweep parallelization).
+func benchSyssim(seconds float64, seed int64, workers int) BenchResult {
+	modes := []struct{ rpu, split bool }{{false, false}, {true, false}, {true, true}}
+	const points = 12
+	run := func(w int) []byte {
+		rows, err := core.RunCells(len(modes)*points, w, func(i int) (string, error) {
+			cfg := queuesim.DefaultConfig()
+			cfg.QPS = 70000 * float64(i%points+1) / points
+			cfg.Seconds = seconds
+			cfg.Seed = seed
+			cfg.RPU = modes[i/points].rpu
+			cfg.Split = modes[i/points].split
+			m := queuesim.Run(cfg)
+			return fmt.Sprintf("%.0f %.2f %.2f\n", cfg.QPS, m.Latency.Percentile(99), m.Latency.Mean()), nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, r := range rows {
+			buf.WriteString(r)
+		}
+		return buf.Bytes()
+	}
+	return pair("syssim-12pt", "parallel sweep", func() []byte { return run(1) }, func() []byte { return run(workers) })
+}
+
+// appendEntry appends entry to the JSON array in path, creating the
+// file when absent.
+func appendEntry(path string, entry BenchEntry) error {
+	var entries []BenchEntry
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &entries); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	entries = append(entries, entry)
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

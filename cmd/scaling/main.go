@@ -27,9 +27,11 @@ func main() {
 	requests := flag.Int("requests", 240, "requests per service for -bench")
 	seed := flag.Int64("seed", 42, "workload seed for -bench")
 	parallel := flag.Int("parallel", 0, "worker goroutines for -bench (0 = one per CPU)")
+	lookahead := flag.Int("lookahead", core.PrepAuto, "intra-run prep pipeline depth in batches (-1 = auto from spare CPUs, 0 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	core.SetPrepLookahead(*lookahead)
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {

@@ -8,7 +8,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
+	"simr/internal/core"
 	"simr/internal/queuesim"
 )
 
@@ -18,6 +20,7 @@ func main() {
 	maxQPS := flag.Float64("max", 70000, "highest offered load")
 	points := flag.Int("points", 12, "number of load points")
 	composePost := flag.Bool("composepost", false, "sweep the Figure 3 compose-post path instead of the User path")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	var qps []float64
@@ -26,7 +29,9 @@ func main() {
 	}
 
 	if *composePost {
-		sweepComposePost(*seconds, *seed, *maxQPS, *points)
+		if err := sweepComposePost(*seconds, *seed, qps, *parallel); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	fmt.Println("Figure 22: end-to-end tail and average latency vs offered load")
@@ -42,46 +47,71 @@ func main() {
 		{"rpu-nosplit", true, false},
 		{"rpu-split", true, true},
 	}
-	for _, mode := range modes {
+	// Every (mode, QPS) point is an independent queuesim.Run with its
+	// own seeded RNG, so the grid fans out on the sweep worker pool;
+	// cells return formatted rows and printing stays in input order,
+	// keeping the output byte-identical to the sequential loop.
+	np := len(qps)
+	rows, err := core.RunCells(len(modes)*np, *parallel, func(i int) (string, error) {
+		mode := modes[i/np]
+		cfg := queuesim.DefaultConfig()
+		cfg.QPS = qps[i%np]
+		cfg.Seconds = *seconds
+		cfg.Seed = *seed
+		cfg.RPU = mode.rpu
+		cfg.Split = mode.split
+		m := queuesim.Run(cfg)
+		measured := cfg.Seconds - cfg.Warmup
+		return fmt.Sprintf("  %8.0f %10.0f %10.2f %10.2f %8.2f %6.1f\n",
+			cfg.QPS, m.Throughput(measured), m.Latency.Percentile(99), m.Latency.Mean(),
+			m.UserUtil, m.AvgBatchFill), nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for mi, mode := range modes {
 		fmt.Printf("%s:\n", mode.name)
 		fmt.Printf("  %8s %10s %10s %10s %8s %6s\n", "qps", "done/s", "p99(ms)", "avg(ms)", "util", "fill")
-		for _, q := range qps {
-			cfg := queuesim.DefaultConfig()
-			cfg.QPS = q
-			cfg.Seconds = *seconds
-			cfg.Seed = *seed
-			cfg.RPU = mode.rpu
-			cfg.Split = mode.split
-			m := queuesim.Run(cfg)
-			measured := cfg.Seconds - cfg.Warmup
-			fmt.Printf("  %8.0f %10.0f %10.2f %10.2f %8.2f %6.1f\n",
-				q, m.Throughput(measured), m.Latency.Percentile(99), m.Latency.Mean(),
-				m.UserUtil, m.AvgBatchFill)
+		for p := 0; p < np; p++ {
+			fmt.Print(rows[mi*np+p])
 		}
 		fmt.Println()
 	}
 }
 
-// sweepComposePost runs the compose-post fan-out/join scenario.
-func sweepComposePost(seconds float64, seed int64, maxQPS float64, points int) {
+// sweepComposePost runs the compose-post fan-out/join scenario on the
+// same worker pool and in the same input-order print discipline as the
+// Figure 22 sweep.
+func sweepComposePost(seconds float64, seed int64, qps []float64, parallel int) error {
 	fmt.Println("Compose-post path (Figure 3): fan-out to uniqueid/urlshort/text/usertag, join, persist")
-	for _, rpu := range []bool{false, true} {
-		name := "cpu"
-		if rpu {
-			name = "rpu"
-		}
-		fmt.Printf("%s:\n  %8s %10s %10s %10s %8s\n", name, "qps", "done/s", "p99(ms)", "avg(ms)", "util")
-		for i := 1; i <= points; i++ {
-			cfg := queuesim.DefaultComposePost()
-			cfg.QPS = maxQPS * float64(i) / float64(points)
-			cfg.Seconds = seconds
-			cfg.Seed = seed
-			cfg.RPU = rpu
-			m := queuesim.RunComposePost(cfg)
-			measured := cfg.Seconds - cfg.Warmup
-			fmt.Printf("  %8.0f %10.0f %10.2f %10.2f %8.2f\n",
-				cfg.QPS, m.Throughput(measured), m.Latency.Percentile(99), m.Latency.Mean(), m.UserUtil)
+	modes := []struct {
+		name string
+		rpu  bool
+	}{
+		{"cpu", false},
+		{"rpu", true},
+	}
+	np := len(qps)
+	rows, err := core.RunCells(len(modes)*np, parallel, func(i int) (string, error) {
+		cfg := queuesim.DefaultComposePost()
+		cfg.QPS = qps[i%np]
+		cfg.Seconds = seconds
+		cfg.Seed = seed
+		cfg.RPU = modes[i/np].rpu
+		m := queuesim.RunComposePost(cfg)
+		measured := cfg.Seconds - cfg.Warmup
+		return fmt.Sprintf("  %8.0f %10.0f %10.2f %10.2f %8.2f\n",
+			cfg.QPS, m.Throughput(measured), m.Latency.Percentile(99), m.Latency.Mean(), m.UserUtil), nil
+	})
+	if err != nil {
+		return err
+	}
+	for mi, mode := range modes {
+		fmt.Printf("%s:\n  %8s %10s %10s %10s %8s\n", mode.name, "qps", "done/s", "p99(ms)", "avg(ms)", "util")
+		for p := 0; p < np; p++ {
+			fmt.Print(rows[mi*np+p])
 		}
 		fmt.Println()
 	}
+	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"simr/internal/alloc"
+	"simr/internal/mem"
 	"simr/internal/simt"
 	"simr/internal/uservices"
 )
@@ -73,14 +74,38 @@ func main() {
 	}
 	fmt.Printf("batch of %d: %d scalar ops -> %d batch ops, SIMT efficiency %.1f%%\n",
 		*n, res.ScalarOps, len(res.Ops), 100*res.Efficiency())
+	// One coalescer scratch for the whole dump: per-op mem.Coalesce
+	// calls reuse its buffers instead of setting up fresh ones.
+	var (
+		mcu   mem.MCUStats
+		csc   mem.CoalesceScratch
+		lanes [][]uint64
+	)
 	for i, op := range res.Ops {
-		if i >= *limit {
-			fmt.Printf("... %d more\n", len(res.Ops)-i)
-			break
+		truncated := i >= *limit
+		extra := ""
+		if op.Class.IsMem() {
+			lanes = lanes[:0]
+			for t := range op.Addrs {
+				if op.Mask&(1<<uint(t)) == 0 {
+					continue
+				}
+				lanes = append(lanes, op.Addrs[t:t+1:t+1])
+			}
+			acc, pat := mem.Coalesce(lanes, 32, &mcu, &csc)
+			extra = fmt.Sprintf(" mcu=%s accesses=%d", pat, len(acc))
 		}
-		fmt.Printf("%5d pc=%#08x %-8s mask=%s lanes=%d\n",
-			i, op.PC, op.Class, maskBits(op.Mask, *n), op.ActiveLanes())
+		if truncated {
+			continue
+		}
+		fmt.Printf("%5d pc=%#08x %-8s mask=%s lanes=%d%s\n",
+			i, op.PC, op.Class, maskBits(op.Mask, *n), op.ActiveLanes(), extra)
 	}
+	if shown := len(res.Ops); shown > *limit {
+		fmt.Printf("... %d more\n", shown-*limit)
+	}
+	fmt.Printf("mcu: %d lane accesses -> %d emitted (%d broadcast, %d coalesced, %d divergent ops)\n",
+		mcu.LaneAccesses, mcu.Emitted, mcu.Broadcast, mcu.Coalesced, mcu.Divergent)
 }
 
 func maskBits(m uint64, n int) string {

@@ -45,6 +45,14 @@ type Options struct {
 	// (see internal/trace); nil interprets every request fresh. Results
 	// are byte-identical either way.
 	Traces *trace.Cache
+	// PrepLookahead bounds how many upcoming batches (or request
+	// groups) are prepared — trace fetch, SIMT lock-step merge, uop
+	// build — on worker goroutines ahead of the batch the timing core
+	// is simulating. 0 runs fully sequentially (the determinism
+	// oracle); PrepAuto derives a budget from the CPUs left over by the
+	// enclosing sweep. Results are byte-identical at any value; only
+	// wall-clock changes.
+	PrepLookahead int
 }
 
 // DefaultOptions is the paper's baseline RPU configuration. Spin points
@@ -60,6 +68,7 @@ func DefaultOptions() Options {
 		MajorityVote:    true,
 		AtomicsAtL3:     true,
 		Spin:            &spin,
+		PrepLookahead:   PrepAuto,
 	}
 }
 
@@ -157,6 +166,8 @@ func newResult(arch Arch, svc *uservices.Service, n int) *Result {
 // runScalar models the single-threaded CPU: one worker thread serves
 // requests back to back on a warm core, reusing its stack (which is why
 // consecutive CPU threads enjoy prefetched shared data, paper §V-A).
+// Upcoming requests are traced and uop-converted up to
+// opts.PrepLookahead ahead of the one the timing core is running.
 func runScalar(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts Options) (*Result, error) {
 	cfg := PipelineConfig(arch)
 	ms := mem.NewSystem(MemConfig(arch))
@@ -168,19 +179,30 @@ func runScalar(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts
 	model := EnergyModel(arch)
 
 	sg := alloc.NewStackGroup(0, 1, false)
-	var ub uopBuilder
-	for i := range reqs {
-		tr, err := scalarTrace(opts.Traces, svc, &reqs[i], 0, sg.StackBase(0), alloc.PolicyCPU, 1)
-		if err != nil {
-			return nil, err
-		}
-		prev := ms.Stats()
-		ms.ResetTiming()
-		ub.reset()
-		st := cpu.Run(ms, ub.scalarUops(tr, 0))
-		st.Mem = st.Mem.Delta(&prev)
-		res.Stats.Accumulate(&st)
-		res.Latency.Add(float64(st.Cycles))
+	la := opts.lookahead()
+	slots := make([]uopBuilder, la+1)
+	prepped := make([][]pipeline.Uop, la+1)
+	err := pipelined(len(reqs), la,
+		func(slot, i int) error {
+			tr, err := scalarTrace(opts.Traces, svc, &reqs[i], 0, sg.StackBase(0), alloc.PolicyCPU, 1)
+			if err != nil {
+				return err
+			}
+			ub := &slots[slot]
+			ub.reset()
+			prepped[slot] = ub.scalarUops(tr, 0)
+			return nil
+		},
+		func(slot, i int) {
+			prev := ms.Stats()
+			ms.ResetTiming()
+			st := cpu.Run(ms, prepped[slot])
+			st.Mem = st.Mem.Delta(&prev)
+			res.Stats.Accumulate(&st)
+			res.Latency.Add(float64(st.Cycles))
+		})
+	if err != nil {
+		return nil, err
 	}
 	res.Energy = model.Compute(&res.Stats, cfg.FreqGHz)
 	return res, nil
@@ -188,8 +210,8 @@ func runScalar(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts
 
 // runSMT models the SMT-8 CPU: 8 worker threads dispatch round-robin
 // through a shared frontend with per-thread ROB partitions and a shared
-// banked L1. Only the Traces option applies (the SMT core is not an
-// RPU configuration).
+// banked L1. Only the Traces and PrepLookahead options apply (the SMT
+// core is not an RPU configuration).
 func runSMT(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts Options) (*Result, error) {
 	cfg := PipelineConfig(arch)
 	ms := mem.NewSystem(MemConfig(arch))
@@ -199,34 +221,54 @@ func runSMT(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts Op
 
 	const ways = 8
 	sg := alloc.NewStackGroup(0, ways, false)
-	var ub uopBuilder
-	streams := make([][]pipeline.Uop, 0, ways)
-	for off := 0; off < len(reqs); off += ways {
-		end := off + ways
-		if end > len(reqs) {
-			end = len(reqs)
-		}
-		group := reqs[off:end]
-		// One reset per group: all of the group's streams live in the
-		// arena simultaneously until merged.
-		ub.reset()
-		streams = streams[:0]
-		for t := range group {
-			tr, err := scalarTrace(opts.Traces, svc, &group[t], t, sg.StackBase(t), alloc.PolicyCPU, 1)
-			if err != nil {
-				return nil, err
+	groups := (len(reqs) + ways - 1) / ways
+
+	// One slot per in-flight group: all of a group's streams live in
+	// the slot's arena simultaneously until merged, and the merged
+	// stream stays valid until the timing core has consumed it.
+	la := opts.lookahead()
+	type smtSlot struct {
+		ub      uopBuilder
+		streams [][]pipeline.Uop
+		merged  []pipeline.Uop
+		nreq    int
+	}
+	slots := make([]smtSlot, la+1)
+	err := pipelined(groups, la,
+		func(slot, g int) error {
+			off := g * ways
+			end := off + ways
+			if end > len(reqs) {
+				end = len(reqs)
 			}
-			streams = append(streams, ub.scalarUops(tr, t))
-		}
-		merged := ub.mergeSMT(streams)
-		prev := ms.Stats()
-		ms.ResetTiming()
-		st := cpu.Run(ms, merged)
-		st.Mem = st.Mem.Delta(&prev)
-		res.Stats.Accumulate(&st)
-		for range group {
-			res.Latency.Add(float64(st.Cycles))
-		}
+			group := reqs[off:end]
+			sl := &slots[slot]
+			sl.ub.reset()
+			sl.streams = sl.streams[:0]
+			for t := range group {
+				tr, err := scalarTrace(opts.Traces, svc, &group[t], t, sg.StackBase(t), alloc.PolicyCPU, 1)
+				if err != nil {
+					return err
+				}
+				sl.streams = append(sl.streams, sl.ub.scalarUops(tr, t))
+			}
+			sl.merged = sl.ub.mergeSMT(sl.streams)
+			sl.nreq = len(group)
+			return nil
+		},
+		func(slot, g int) {
+			sl := &slots[slot]
+			prev := ms.Stats()
+			ms.ResetTiming()
+			st := cpu.Run(ms, sl.merged)
+			st.Mem = st.Mem.Delta(&prev)
+			res.Stats.Accumulate(&st)
+			for k := 0; k < sl.nreq; k++ {
+				res.Latency.Add(float64(st.Cycles))
+			}
+		})
+	if err != nil {
+		return nil, err
 	}
 	res.Energy = model.Compute(&res.Stats, cfg.FreqGHz)
 	return res, nil
@@ -258,43 +300,69 @@ func runBatched(arch Arch, svc *uservices.Service, reqs []uservices.Request, opt
 	batches := batch.Form(reqs, size, opts.Policy)
 	res.Batches = len(batches)
 
+	// Preparation — trace fetch, lock-step merge, uop build — is pure:
+	// it writes only the slot's scratch objects and a per-batch
+	// MCUStats delta, so upcoming batches are prepared on worker
+	// goroutines while the timing core consumes earlier ones. The
+	// consumer applies each delta to ms.MCU before Run, which lands the
+	// coalescer counts inside the same prev/Delta window the sequential
+	// loop (which bumped ms.MCU during the build) gave them.
 	totalScalar, totalBatchOps := 0, 0
-	var (
-		ub uopBuilder
-		sc simt.Scratch
-	)
-	for _, b := range batches {
-		// Snapshot before batchUops: the MCU counters it bumps belong
-		// to this iteration's delta too.
-		prev := ms.Stats()
-		sg := alloc.NewStackGroup(0, len(b.Requests), opts.StackInterleave)
-		traces, err := batchTraces(opts.Traces, svc, b.Requests, sg, opts.AllocPolicy, cfgM.L1.Banks)
-		if err != nil {
-			return nil, err
-		}
-		var merged *simt.Result
-		if opts.UseIPDOM {
-			merged, err = simt.RunIPDOMWith(&sc, traces, size, reconv)
-		} else {
-			merged, err = simt.RunMinSPPCWith(&sc, traces, size, opts.Spin)
-		}
-		if err != nil {
-			return nil, err
-		}
-		totalScalar += merged.ScalarOps
-		totalBatchOps += len(merged.Ops)
-
-		// merged aliases sc and uops alias ub: both are consumed by
-		// rpu.Run before the next batch reuses them.
-		ub.reset()
-		uops := ub.batchUops(merged.Ops, sg, opts.StackInterleave, &ms.MCU)
-		ms.ResetTiming()
-		st := rpu.Run(ms, uops)
-		st.Mem = st.Mem.Delta(&prev)
-		res.Stats.Accumulate(&st)
-		for range b.Requests {
-			res.Latency.Add(float64(st.Cycles))
-		}
+	la := opts.lookahead()
+	type rpuSlot struct {
+		ub       uopBuilder
+		sc       simt.Scratch
+		uops     []pipeline.Uop
+		mcu      mem.MCUStats
+		scalar   int
+		batchOps int
+		nreq     int
+	}
+	slots := make([]rpuSlot, la+1)
+	err := pipelined(len(batches), la,
+		func(slot, i int) error {
+			b := &batches[i]
+			sl := &slots[slot]
+			sg := alloc.NewStackGroup(0, len(b.Requests), opts.StackInterleave)
+			traces, err := batchTraces(opts.Traces, svc, b.Requests, sg, opts.AllocPolicy, cfgM.L1.Banks)
+			if err != nil {
+				return err
+			}
+			var merged *simt.Result
+			if opts.UseIPDOM {
+				merged, err = simt.RunIPDOMWith(&sl.sc, traces, size, reconv)
+			} else {
+				merged, err = simt.RunMinSPPCWith(&sl.sc, traces, size, opts.Spin)
+			}
+			if err != nil {
+				return err
+			}
+			// merged aliases sl.sc and uops alias sl.ub: both stay
+			// valid until the consumer releases the slot.
+			sl.ub.reset()
+			sl.mcu = mem.MCUStats{}
+			sl.uops = sl.ub.batchUops(merged.Ops, sg, opts.StackInterleave, &sl.mcu)
+			sl.scalar = merged.ScalarOps
+			sl.batchOps = len(merged.Ops)
+			sl.nreq = len(b.Requests)
+			return nil
+		},
+		func(slot, i int) {
+			sl := &slots[slot]
+			totalScalar += sl.scalar
+			totalBatchOps += sl.batchOps
+			prev := ms.Stats()
+			ms.MCU.Add(&sl.mcu)
+			ms.ResetTiming()
+			st := rpu.Run(ms, sl.uops)
+			st.Mem = st.Mem.Delta(&prev)
+			res.Stats.Accumulate(&st)
+			for k := 0; k < sl.nreq; k++ {
+				res.Latency.Add(float64(st.Cycles))
+			}
+		})
+	if err != nil {
+		return nil, err
 	}
 	if totalBatchOps > 0 {
 		res.SIMTEff = float64(totalScalar) / (float64(totalBatchOps) * float64(size))

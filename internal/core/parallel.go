@@ -152,11 +152,22 @@ func (sw *sweepCaches) requests(s, n int, seed int64) []uservices.Request {
 }
 
 // done marks one of service s's cells finished and drops the service's
-// cache when the last one completes. Cells abandoned on error simply
-// never call done; the sweep's caches become garbage with it.
+// cache when the last one completes.
 func (sw *sweepCaches) done(s int) {
 	if sw.left[s].Add(-1) == 0 {
 		sw.caches[s].Drop()
+	}
+}
+
+// abort drops every service's cache. Drivers call it on the sweep's
+// error path: cells abandoned by RunCells never call done, so without
+// the drain a failed sweep would strand each undropped cache's bytes
+// against the shared trace.Budget for as long as the sweep's results
+// stay reachable. Drop is idempotent, so racing a straggler cell's own
+// done is harmless.
+func (sw *sweepCaches) abort() {
+	for _, c := range sw.caches {
+		c.Drop()
 	}
 }
 
@@ -169,14 +180,17 @@ func ChipStudyParallel(suite *uservices.Suite, requests int, seed int64, withGPU
 	}
 	na := len(arches)
 	sw := newSweepCaches(suite.Services, na)
+	la := prepBudget(len(suite.Services)*na, workers)
 	cells, err := RunCells(len(suite.Services)*na, workers, func(i int) (*Result, error) {
 		s := i / na
 		defer sw.done(s)
 		opts := DefaultOptions()
 		opts.Traces = sw.cache(s)
+		opts.PrepLookahead = la
 		return RunService(arches[i%na], suite.Services[s], sw.requests(s, requests, seed), opts)
 	})
 	if err != nil {
+		sw.abort()
 		return nil, err
 	}
 	rows := make([]ChipRow, len(suite.Services))
@@ -211,6 +225,7 @@ func EfficiencyStudyParallel(suite *uservices.Suite, requests int, seed int64, w
 		return efficiencyOf(suite.Services[s], sw.requests(s, requests, seed), 32, v.policy, v.ipdom, sw.cache(s))
 	})
 	if err != nil {
+		sw.abort()
 		return nil, err
 	}
 	rows := make([]EffRow, len(suite.Services))
@@ -233,6 +248,7 @@ func MPKIStudyParallel(suite *uservices.Suite, requests int, seed int64, workers
 	sizes := []int{32, 16, 8, 4}
 	nc := 1 + len(sizes) // CPU + one per batch size
 	sw := newSweepCaches(suite.Services, nc)
+	la := prepBudget(len(suite.Services)*nc, workers)
 	cells, err := RunCells(len(suite.Services)*nc, workers, func(i int) (*Result, error) {
 		s := i / nc
 		defer sw.done(s)
@@ -240,6 +256,7 @@ func MPKIStudyParallel(suite *uservices.Suite, requests int, seed int64, workers
 		reqs := sw.requests(s, requests, seed)
 		opts := DefaultOptions()
 		opts.Traces = sw.cache(s)
+		opts.PrepLookahead = la
 		if i%nc == 0 {
 			return RunService(ArchCPU, svc, reqs, opts)
 		}
@@ -247,6 +264,7 @@ func MPKIStudyParallel(suite *uservices.Suite, requests int, seed int64, workers
 		return RunService(ArchRPU, svc, reqs, opts)
 	})
 	if err != nil {
+		sw.abort()
 		return nil, err
 	}
 	rows := make([]MPKIRow, len(suite.Services))
@@ -270,10 +288,12 @@ type BatchSweepRow struct {
 // the same requests on a worker pool (the §III-B3 tuning space).
 func BatchSweep(svc *uservices.Service, reqs []uservices.Request, sizes []int, workers int) (*Result, []BatchSweepRow, error) {
 	sw := newSweepCaches([]*uservices.Service{svc}, 1+len(sizes))
+	la := prepBudget(1+len(sizes), workers)
 	cells, err := RunCells(1+len(sizes), workers, func(i int) (*Result, error) {
 		defer sw.done(0)
 		opts := DefaultOptions()
 		opts.Traces = sw.cache(0)
+		opts.PrepLookahead = la
 		if i == 0 {
 			return RunService(ArchCPU, svc, reqs, opts)
 		}
@@ -281,6 +301,7 @@ func BatchSweep(svc *uservices.Service, reqs []uservices.Request, sizes []int, w
 		return RunService(ArchRPU, svc, reqs, opts)
 	})
 	if err != nil {
+		sw.abort()
 		return nil, nil, err
 	}
 	rows := make([]BatchSweepRow, len(sizes))
@@ -309,6 +330,7 @@ func MultiBatchSweep(suite *uservices.Suite, seed int64, workers int) ([]MultiBa
 		return MultiBatchStudy(svc, sw.requests(i, 2*svc.TunedBatch, seed), opts)
 	})
 	if err != nil {
+		sw.abort()
 		return nil, err
 	}
 	rows := make([]MultiBatchRow, len(suite.Services))

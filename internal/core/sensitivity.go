@@ -19,9 +19,10 @@ type SensRow struct {
 }
 
 // runVariant executes one mutated option set.
-func runVariant(arch Arch, svc *uservices.Service, reqs []uservices.Request, mutate func(*Options), tc *trace.Cache) (*Result, error) {
+func runVariant(arch Arch, svc *uservices.Service, reqs []uservices.Request, mutate func(*Options), tc *trace.Cache, la int) (*Result, error) {
 	ov := DefaultOptions()
 	ov.Traces = tc
+	ov.PrepLookahead = la
 	mutate(&ov)
 	return RunService(arch, svc, reqs, ov)
 }
@@ -38,10 +39,11 @@ type sensBase struct {
 	err  [NumArchs]error
 }
 
-func (b *sensBase) get(arch Arch, svc *uservices.Service, reqs []uservices.Request, tc *trace.Cache) (*Result, error) {
+func (b *sensBase) get(arch Arch, svc *uservices.Service, reqs []uservices.Request, tc *trace.Cache, la int) (*Result, error) {
 	b.once[arch].Do(func() {
 		ob := DefaultOptions()
 		ob.Traces = tc
+		ob.PrepLookahead = la
 		b.res[arch], b.err[arch] = RunService(arch, svc, reqs, ob)
 	})
 	return b.res[arch], b.err[arch]
@@ -88,19 +90,21 @@ func SensitivityStudyParallel(w io.Writer, suite *uservices.Suite, services []st
 	}
 	sw := newSweepCaches(svcs, len(sensMutations))
 	bases := make([]sensBase, ns)
+	la := prepBudget(len(sensMutations)*ns, workers)
 	pairs, err := RunCells(len(sensMutations)*ns, workers, func(i int) (sensPair, error) {
 		m := sensMutations[i/ns]
 		s := i % ns
 		defer sw.done(s)
 		reqs := sw.requests(s, requests, seed)
-		b, err := bases[s].get(m.arch, svcs[s], reqs, sw.cache(s))
+		b, err := bases[s].get(m.arch, svcs[s], reqs, sw.cache(s), la)
 		if err != nil {
 			return sensPair{}, err
 		}
-		v, err := runVariant(m.arch, svcs[s], reqs, m.mutate, sw.cache(s))
+		v, err := runVariant(m.arch, svcs[s], reqs, m.mutate, sw.cache(s), la)
 		return sensPair{b, v}, err
 	})
 	if err != nil {
+		sw.abort()
 		return err
 	}
 	pair := func(section, s int) sensPair { return pairs[section*ns+s] }

@@ -108,7 +108,10 @@ func (b *uopBuilder) scalarUops(trace []isa.TraceOp, thread int) []pipeline.Uop 
 // batchUops converts the lock-step batch stream into pipeline uops:
 // stack addresses are physically interleaved via the batch's stack
 // group (when enabled) and every memory instruction passes through the
-// MCU coalescer.
+// MCU coalescer. The coalescer's counts go to mcu, which callers point
+// at a per-batch delta (applied to the memory system in batch order by
+// the consumer) rather than live counters — the build pass itself must
+// stay pure so batches can be prepared ahead on worker goroutines.
 func (b *uopBuilder) batchUops(ops []simt.BatchOp, sg *alloc.StackGroup, interleave bool, mcu *mem.MCUStats) []pipeline.Uop {
 	uops := b.carve(len(ops))
 	for i := range ops {

@@ -24,8 +24,10 @@ func BenchmarkCoalesceBroadcast(b *testing.B) {
 		lanes[i] = []uint64{0x1000}
 	}
 	var st MCUStats
+	var sc CoalesceScratch
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Coalesce(lanes, 32, &st)
+		Coalesce(lanes, 32, &st, &sc)
 	}
 }
 
@@ -35,7 +37,26 @@ func BenchmarkCoalesceDivergent(b *testing.B) {
 		lanes[i] = []uint64{uint64(i) * 8192}
 	}
 	var st MCUStats
+	var sc CoalesceScratch
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Coalesce(lanes, 32, &st)
+		Coalesce(lanes, 32, &st, &sc)
+	}
+}
+
+// BenchmarkCoalesceScratch exercises the shared-scratch append path the
+// uop builder and tracedump use: a reused dst arena plus one scratch
+// across the whole run must be 0 allocs/op once warm.
+func BenchmarkCoalesceScratch(b *testing.B) {
+	lanes := make([][]uint64, 32)
+	for i := range lanes {
+		lanes[i] = []uint64{0x1000 + uint64(i)*4, 0x1004 + uint64(i)*4}
+	}
+	var st MCUStats
+	var sc CoalesceScratch
+	dst := make([]uint64, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst, _ = AppendCoalesce(dst[:0], &sc, lanes, 32, &st)
 	}
 }

@@ -31,7 +31,8 @@ func FuzzCoalesce(f *testing.F) {
 			}
 		}
 		var st MCUStats
-		acc, pat := Coalesce(lanes, 32, &st)
+		var sc CoalesceScratch
+		acc, pat := Coalesce(lanes, 32, &st, &sc)
 		if len(acc) < 1 || len(acc) > total {
 			t.Fatalf("emitted %d accesses for %d lanes", len(acc), total)
 		}

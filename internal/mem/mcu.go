@@ -84,7 +84,10 @@ type lineRun struct {
 // lists each active lane's physical word addresses (a lane may span
 // two interleaved granules; see alloc.StackGroup.Translate). lineBytes
 // is the L1 line size. It returns the addresses to issue to the cache
-// and the detected pattern.
+// and the detected pattern. sc supplies the reusable working buffers;
+// callers issuing many ops (tracedump's batch view, the tests'
+// property loops) pass one scratch across calls to keep the per-op
+// path allocation-free, and a nil sc falls back to a fresh scratch.
 //
 // Detection: if every lane touches the same word, one broadcast access
 // is emitted. Otherwise the MCU groups the touched words per cache
@@ -92,9 +95,11 @@ type lineRun struct {
 // merging actually saves accesses, one access per line is emitted
 // (PatternCoalesced). Any other shape is divergent: one access per
 // active lane at its first word.
-func Coalesce(laneAddrs [][]uint64, lineBytes int, stats *MCUStats) ([]uint64, Pattern) {
-	var sc CoalesceScratch
-	return AppendCoalesce(nil, &sc, laneAddrs, lineBytes, stats)
+func Coalesce(laneAddrs [][]uint64, lineBytes int, stats *MCUStats, sc *CoalesceScratch) ([]uint64, Pattern) {
+	if sc == nil {
+		sc = new(CoalesceScratch)
+	}
+	return AppendCoalesce(nil, sc, laneAddrs, lineBytes, stats)
 }
 
 // AppendCoalesce is Coalesce writing into caller-provided storage: the

@@ -149,11 +149,12 @@ func TestTLBLRUWithinBank(t *testing.T) {
 
 func TestCoalesceBroadcast(t *testing.T) {
 	var st MCUStats
+	var sc CoalesceScratch
 	lanes := make([][]uint64, 32)
 	for i := range lanes {
 		lanes[i] = []uint64{0x1000}
 	}
-	acc, p := Coalesce(lanes, 32, &st)
+	acc, p := Coalesce(lanes, 32, &st, &sc)
 	if p != PatternBroadcast || len(acc) != 1 {
 		t.Fatalf("broadcast: %v %d", p, len(acc))
 	}
@@ -164,11 +165,12 @@ func TestCoalesceBroadcast(t *testing.T) {
 
 func TestCoalesceConsecutive(t *testing.T) {
 	var st MCUStats
+	var sc CoalesceScratch
 	lanes := make([][]uint64, 8)
 	for i := range lanes {
 		lanes[i] = []uint64{0x2000 + uint64(i)*4}
 	}
-	acc, p := Coalesce(lanes, 32, &st)
+	acc, p := Coalesce(lanes, 32, &st, &sc)
 	if p != PatternCoalesced || len(acc) != 1 {
 		t.Fatalf("consecutive words in one line: %v %d", p, len(acc))
 	}
@@ -178,7 +180,7 @@ func TestCoalesceConsecutive(t *testing.T) {
 	for i := range lanes {
 		lanes[i] = []uint64{0x4000 + uint64(i)*8, 0x4000 + uint64(i)*8 + 4}
 	}
-	acc, p = Coalesce(lanes, 32, nil)
+	acc, p = Coalesce(lanes, 32, nil, nil)
 	if p != PatternCoalesced || len(acc) != 8 {
 		t.Fatalf("interleaved push: %v %d accesses", p, len(acc))
 	}
@@ -186,6 +188,7 @@ func TestCoalesceConsecutive(t *testing.T) {
 
 func TestCoalesceDivergent(t *testing.T) {
 	var st MCUStats
+	var sc CoalesceScratch
 	lanes := make([][]uint64, 8)
 	for i := range lanes {
 		lanes[i] = []uint64{uint64(i) * 4096} // far apart, non-consecutive pages
@@ -193,20 +196,38 @@ func TestCoalesceDivergent(t *testing.T) {
 	// Distinct lines, each with a single word: treated as per-line
 	// unique accesses; count equals lane count — no benefit but no
 	// inflation either.
-	acc, _ := Coalesce(lanes, 32, &st)
+	acc, _ := Coalesce(lanes, 32, &st, &sc)
 	if len(acc) != 8 {
 		t.Fatalf("divergent emitted %d", len(acc))
 	}
 	// A genuinely non-consecutive multi-word line forces divergent.
 	lanes = [][]uint64{{0x1000}, {0x1008}, {0x100c}} // words 0,2,3 of line
-	_, p := Coalesce(lanes, 32, &st)
+	_, p := Coalesce(lanes, 32, &st, &sc)
 	if p != PatternDivergent {
 		t.Fatalf("gap pattern classified %v", p)
 	}
 }
 
+// With a shared scratch and a reused destination arena the per-op
+// coalescing path must not allocate (the uop builder and tracedump
+// both depend on this).
+func TestCoalesceZeroAlloc(t *testing.T) {
+	lanes := make([][]uint64, 32)
+	for i := range lanes {
+		lanes[i] = []uint64{0x1000 + uint64(i)*4, 0x1004 + uint64(i)*4}
+	}
+	var st MCUStats
+	var sc CoalesceScratch
+	dst := make([]uint64, 0, 64)
+	if n := testing.AllocsPerRun(100, func() {
+		dst, _ = AppendCoalesce(dst[:0], &sc, lanes, 32, &st)
+	}); n != 0 {
+		t.Fatalf("AppendCoalesce with shared scratch allocates %.1f/op", n)
+	}
+}
+
 func TestCoalesceEmpty(t *testing.T) {
-	acc, _ := Coalesce([][]uint64{nil, nil}, 32, nil)
+	acc, _ := Coalesce([][]uint64{nil, nil}, 32, nil, nil)
 	if acc != nil {
 		t.Fatal("empty mask should emit nothing")
 	}
@@ -228,7 +249,7 @@ func TestQuickCoalesceBounds(t *testing.T) {
 			lanes[i] = []uint64{uint64(a &^ 3)}
 			total++
 		}
-		acc, _ := Coalesce(lanes, 32, nil)
+		acc, _ := Coalesce(lanes, 32, nil, nil)
 		return len(acc) >= 1 && len(acc) <= total
 	}
 	if err := quick.Check(f, nil); err != nil {

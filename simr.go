@@ -76,6 +76,16 @@ const (
 // DefaultRequests is the paper's per-service request count (2400).
 const DefaultRequests = core.DefaultRequests
 
+// PrepAuto selects an automatic intra-run prep lookahead for
+// Options.PrepLookahead, derived from the CPUs the enclosing sweep
+// leaves spare.
+const PrepAuto = core.PrepAuto
+
+// SetPrepLookahead pins the prep lookahead every PrepAuto resolution
+// uses (n >= 0), or restores automatic derivation (n < 0). Results are
+// byte-identical at any value; only wall-clock changes.
+func SetPrepLookahead(n int) { core.SetPrepLookahead(n) }
+
 // NewSuite constructs the 15 microservices with freshly linked
 // programs and shared tables.
 func NewSuite() *Suite { return uservices.NewSuite() }
