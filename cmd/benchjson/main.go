@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"simr/internal/core"
+	"simr/internal/obs"
 	"simr/internal/queuesim"
 	"simr/internal/uservices"
 )
@@ -46,40 +47,77 @@ type BenchEntry struct {
 	Results    []BenchResult `json:"results"`
 }
 
+// StudyEntry is one per-study trajectory point: the timing result of
+// a single bench study plus the obs-registry snapshot its two runs
+// populated (trace-cache effectiveness, prep-pipeline occupancy,
+// worker utilization), written to BENCH_<study>.json.
+type StudyEntry struct {
+	Timestamp  string       `json:"timestamp"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	Requests   int          `json:"requests"`
+	Seed       int64        `json:"seed"`
+	Result     BenchResult  `json:"result"`
+	Metrics    obs.Snapshot `json:"metrics"`
+}
+
+// studyMetrics gates the per-study registry snapshots; set from
+// -studymetrics before the studies run.
+var studyMetrics bool
+
 func main() {
 	requests := flag.Int("requests", 240, "requests per service for the chip-study measurements")
 	seed := flag.Int64("seed", 42, "workload seed")
 	workers := flag.Int("workers", 8, "sweep worker goroutines for the parallel/pipelined runs")
 	seconds := flag.Float64("seconds", 1, "simulated seconds per syssim load point")
 	out := flag.String("out", "BENCH_pipeline.json", "bench trajectory file to append to")
+	perStudy := flag.Bool("studymetrics", true, "append per-study entries with metrics snapshots to BENCH_<study>.json")
 	flag.Parse()
+	studyMetrics = *perStudy
 
 	suite := uservices.NewSuite()
+	stamp := time.Now().UTC().Format(time.RFC3339)
 	entry := BenchEntry{
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Timestamp:  stamp,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Workers:    *workers,
 		Requests:   *requests,
 		Seed:       *seed,
 	}
 
-	entry.Results = append(entry.Results,
+	studies := []StudyEntry{
 		benchChipStudy(suite, *requests, *seed, *workers),
 		benchBatchSweep(suite, *requests, *seed, *workers),
 		benchSyssim(*seconds, *seed, *workers),
-	)
+	}
 
-	for _, r := range entry.Results {
+	for _, s := range studies {
+		entry.Results = append(entry.Results, s.Result)
+		r := s.Result
 		fmt.Printf("%-22s seq %7.3fs  pipelined %7.3fs  speedup %.2fx  identical=%v\n",
 			r.Name, r.SeqSec, r.PipeSec, r.Speedup, r.Identical)
 		if !r.Identical {
 			log.Fatalf("%s: outputs differ between sequential and pipelined runs", r.Name)
 		}
 	}
-	if err := appendEntry(*out, entry); err != nil {
+	if err := appendJSON(*out, entry); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("appended to %s\n", *out)
+	if studyMetrics {
+		for _, s := range studies {
+			s.Timestamp = stamp
+			s.GoMaxProcs = entry.GoMaxProcs
+			s.Workers = *workers
+			s.Requests = *requests
+			s.Seed = *seed
+			path := "BENCH_" + s.Result.Name + ".json"
+			if err := appendJSON(path, s); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("appended to %s\n", path)
+		}
+	}
 }
 
 // timed runs f and returns its wall-clock seconds alongside its output.
@@ -94,26 +132,39 @@ func timed(f func() []byte) (float64, []byte) {
 // the pipelined configuration at a fixed lookahead — pinned rather
 // than auto-derived so the pipeline engages regardless of how many
 // CPUs the sweep pool already claims — restoring automatic lookahead
-// afterward.
-func pair(name, config string, seq, pipe func() []byte) BenchResult {
+// afterward. With -studymetrics a fresh obs registry is installed for
+// the study's duration and its snapshot rides along in the entry; both
+// runs execute under the same instrumentation, so the speedup
+// comparison stays fair.
+func pair(name, config string, seq, pipe func() []byte) StudyEntry {
+	var reg *obs.Registry
+	if studyMetrics {
+		reg = obs.NewRegistry()
+		obs.Enable(reg, nil)
+		defer obs.Disable()
+	}
 	core.SetPrepLookahead(0)
 	seqSec, seqOut := timed(seq)
 	core.SetPrepLookahead(2)
 	pipeSec, pipeOut := timed(pipe)
 	core.SetPrepLookahead(-1)
-	return BenchResult{
+	e := StudyEntry{Result: BenchResult{
 		Name:       name,
 		SeqSec:     seqSec,
 		PipeSec:    pipeSec,
 		Speedup:    seqSec / pipeSec,
 		Identical:  bytes.Equal(seqOut, pipeOut),
 		WhatDiffer: config,
+	}}
+	if reg != nil {
+		e.Metrics = reg.Snapshot()
 	}
+	return e
 }
 
 // benchChipStudy is the Figure 19 grid (the full chip study) with and
 // without the prep pipeline, both on the same worker pool.
-func benchChipStudy(suite *uservices.Suite, requests int, seed int64, workers int) BenchResult {
+func benchChipStudy(suite *uservices.Suite, requests int, seed int64, workers int) StudyEntry {
 	run := func(w int) []byte {
 		rows, err := core.ChipStudyParallel(suite, requests, seed, false, w)
 		if err != nil {
@@ -128,7 +179,7 @@ func benchChipStudy(suite *uservices.Suite, requests int, seed int64, workers in
 
 // benchBatchSweep is the §III-B3 single-service tuning sweep: few
 // cells, long runs — the shape the intra-run pipeline targets.
-func benchBatchSweep(suite *uservices.Suite, requests int, seed int64, workers int) BenchResult {
+func benchBatchSweep(suite *uservices.Suite, requests int, seed int64, workers int) StudyEntry {
 	svc := suite.Get("memc")
 	reqs := svc.Generate(rand.New(rand.NewSource(seed)), requests)
 	run := func() []byte {
@@ -149,7 +200,7 @@ func benchBatchSweep(suite *uservices.Suite, requests int, seed int64, workers i
 // benchSyssim is the 12-point Figure 22 grid: sequential loop vs the
 // fanned-out sweep (the prep pipeline does not apply to queuesim; this
 // measures the sweep parallelization).
-func benchSyssim(seconds float64, seed int64, workers int) BenchResult {
+func benchSyssim(seconds float64, seed int64, workers int) StudyEntry {
 	modes := []struct{ rpu, split bool }{{false, false}, {true, false}, {true, true}}
 	const points = 12
 	run := func(w int) []byte {
@@ -175,10 +226,11 @@ func benchSyssim(seconds float64, seed int64, workers int) BenchResult {
 	return pair("syssim-12pt", "parallel sweep", func() []byte { return run(1) }, func() []byte { return run(workers) })
 }
 
-// appendEntry appends entry to the JSON array in path, creating the
-// file when absent.
-func appendEntry(path string, entry BenchEntry) error {
-	var entries []BenchEntry
+// appendJSON appends entry to the JSON array in path, creating the
+// file when absent. Existing entries are kept verbatim, so trajectory
+// files written by older schema versions keep accumulating.
+func appendJSON(path string, entry any) error {
+	var entries []json.RawMessage
 	if raw, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(raw, &entries); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
@@ -186,10 +238,14 @@ func appendEntry(path string, entry BenchEntry) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	entries = append(entries, entry)
-	raw, err := json.MarshalIndent(entries, "", "  ")
+	raw, err := json.Marshal(entry)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
+	entries = append(entries, raw)
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

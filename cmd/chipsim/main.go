@@ -24,6 +24,7 @@ import (
 
 	"simr/internal/core"
 	"simr/internal/energy"
+	"simr/internal/obsflag"
 	"simr/internal/prof"
 	"simr/internal/uservices"
 )
@@ -44,6 +45,7 @@ func main() {
 	lookahead := flag.Int("lookahead", core.PrepAuto, "intra-run prep pipeline depth in batches (-1 = auto from spare CPUs, 0 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	obsFlags := obsflag.Add(flag.CommandLine)
 	flag.Parse()
 	core.SetPrepLookahead(*lookahead)
 
@@ -52,6 +54,8 @@ func main() {
 		log.Fatal(err)
 	}
 	defer stopProf()
+	obsFlags.Setup()
+	defer obsFlags.Close()
 
 	suite := uservices.NewSuite()
 

@@ -1,0 +1,125 @@
+// Command obscheck validates the machine-readable observability
+// artifacts the study drivers emit: a -metrics registry snapshot
+// (scopes present, every name non-empty, every counter non-negative)
+// and/or a -trace Chrome-trace timeline (a JSON array of events, each
+// carrying ph, ts and name — the shape chrome://tracing and Perfetto
+// load). CI runs it against the bench-smoke outputs; exit status 0
+// means the files are well-formed.
+//
+// Usage:
+//
+//	obscheck [-metrics out.json] [-trace out.trace.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	metrics := flag.String("metrics", "", "metrics snapshot JSON to validate")
+	trace := flag.String("trace", "", "Chrome-trace JSON to validate")
+	flag.Parse()
+	if *metrics == "" && *trace == "" {
+		log.Fatal("obscheck: give -metrics and/or -trace")
+	}
+	if *metrics != "" {
+		if err := checkMetrics(*metrics); err != nil {
+			log.Fatalf("obscheck: %s: %v", *metrics, err)
+		}
+		fmt.Printf("%s: metrics snapshot ok\n", *metrics)
+	}
+	if *trace != "" {
+		if err := checkTrace(*trace); err != nil {
+			log.Fatalf("obscheck: %s: %v", *trace, err)
+		}
+		fmt.Printf("%s: trace ok\n", *trace)
+	}
+}
+
+// checkMetrics enforces the snapshot schema: a top-level scopes array,
+// non-empty scope and instrument names, non-negative counters and
+// histogram counts consistent with their bucket sums.
+func checkMetrics(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap struct {
+		Scopes []struct {
+			Name       string           `json:"name"`
+			Counters   map[string]int64 `json:"counters"`
+			Gauges     map[string]int64 `json:"gauges"`
+			Histograms map[string]struct {
+				Bounds []float64 `json:"bounds"`
+				Counts []int64   `json:"counts"`
+				Count  int64     `json:"count"`
+			} `json:"histograms"`
+		} `json:"scopes"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("not a snapshot: %w", err)
+	}
+	if len(snap.Scopes) == 0 {
+		return fmt.Errorf("no scopes recorded")
+	}
+	for _, sc := range snap.Scopes {
+		if sc.Name == "" {
+			return fmt.Errorf("scope with empty name")
+		}
+		for name, v := range sc.Counters {
+			if name == "" {
+				return fmt.Errorf("scope %s: counter with empty name", sc.Name)
+			}
+			if v < 0 {
+				return fmt.Errorf("scope %s: counter %s is negative (%d)", sc.Name, name, v)
+			}
+		}
+		for name, h := range sc.Histograms {
+			if len(h.Counts) != len(h.Bounds)+1 {
+				return fmt.Errorf("scope %s: histogram %s has %d counts for %d bounds",
+					sc.Name, name, len(h.Counts), len(h.Bounds))
+			}
+			total := int64(0)
+			for i, c := range h.Counts {
+				if c < 0 {
+					return fmt.Errorf("scope %s: histogram %s bucket %d negative", sc.Name, name, i)
+				}
+				total += c
+			}
+			if total != h.Count {
+				return fmt.Errorf("scope %s: histogram %s buckets sum to %d, count says %d",
+					sc.Name, name, total, h.Count)
+			}
+		}
+	}
+	return nil
+}
+
+// checkTrace enforces the Trace Event Format array shape.
+func checkTrace(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(raw, &evs); err != nil {
+		return fmt.Errorf("not a JSON array of events: %w", err)
+	}
+	for i, e := range evs {
+		if _, ok := e["name"].(string); !ok {
+			return fmt.Errorf("event %d: missing name", i)
+		}
+		ph, ok := e["ph"].(string)
+		if !ok || ph == "" {
+			return fmt.Errorf("event %d: missing ph", i)
+		}
+		if _, ok := e["ts"].(float64); !ok {
+			return fmt.Errorf("event %d: missing ts", i)
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"simr/internal/core"
+	"simr/internal/obsflag"
 	"simr/internal/uservices"
 )
 
@@ -23,7 +24,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload random seed")
 	fig := flag.Int("fig", 11, "figure to print: 4 (naive only) or 11 (all policies)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = one per CPU, 1 = sequential)")
+	obsFlags := obsflag.Add(flag.CommandLine)
 	flag.Parse()
+	obsFlags.Setup()
+	defer obsFlags.Close()
 
 	suite := uservices.NewSuite()
 	rows, err := core.EfficiencyStudyParallel(suite, *requests, *seed, *parallel)

@@ -11,6 +11,8 @@ import (
 	"log"
 
 	"simr/internal/core"
+	"simr/internal/obs"
+	"simr/internal/obsflag"
 	"simr/internal/queuesim"
 )
 
@@ -21,7 +23,10 @@ func main() {
 	points := flag.Int("points", 12, "number of load points")
 	composePost := flag.Bool("composepost", false, "sweep the Figure 3 compose-post path instead of the User path")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = one per CPU, 1 = sequential)")
+	obsFlags := obsflag.Add(flag.CommandLine)
 	flag.Parse()
+	obsFlags.Setup()
+	defer obsFlags.Close()
 
 	var qps []float64
 	for i := 1; i <= *points; i++ {
@@ -60,6 +65,17 @@ func main() {
 		cfg.Seed = *seed
 		cfg.RPU = mode.rpu
 		cfg.Split = mode.split
+		if obs.Enabled() {
+			// One Monitor (and trace pid) per sweep cell keeps the
+			// per-station time series of concurrent cells separate.
+			cfg.Monitor = &queuesim.Monitor{
+				Reg:   obs.Default(),
+				Sink:  obs.Trace(),
+				Label: queuesim.CellLabel(mode.name, cfg.QPS),
+				PID:   100 + i,
+				MinDT: 1.0,
+			}
+		}
 		m := queuesim.Run(cfg)
 		measured := cfg.Seconds - cfg.Warmup
 		return fmt.Sprintf("  %8.0f %10.0f %10.2f %10.2f %8.2f %6.1f\n",
@@ -98,6 +114,15 @@ func sweepComposePost(seconds float64, seed int64, qps []float64, parallel int) 
 		cfg.Seconds = seconds
 		cfg.Seed = seed
 		cfg.RPU = modes[i/np].rpu
+		if obs.Enabled() {
+			cfg.Monitor = &queuesim.Monitor{
+				Reg:   obs.Default(),
+				Sink:  obs.Trace(),
+				Label: queuesim.CellLabel(modes[i/np].name, cfg.QPS),
+				PID:   100 + i,
+				MinDT: 1.0,
+			}
+		}
 		m := queuesim.RunComposePost(cfg)
 		measured := cfg.Seconds - cfg.Warmup
 		return fmt.Sprintf("  %8.0f %10.0f %10.2f %10.2f %8.2f\n",

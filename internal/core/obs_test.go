@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"simr/internal/obs"
+	"simr/internal/uservices"
+)
+
+// TestPipelinedDisabledAllocs: with no obs hub installed, the
+// sequential prep-pipeline hot path (the per-unit code every study
+// runs) must not allocate.
+func TestPipelinedDisabledAllocs(t *testing.T) {
+	obs.Disable()
+	sink := 0
+	prep := func(slot, i int) error { sink += i; return nil }
+	consume := func(slot, i int) { sink -= i }
+	n := testing.AllocsPerRun(200, func() {
+		if err := pipelined(4, 0, prep, consume); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("disabled pipelined path allocates %v allocs/op, want 0", n)
+	}
+}
+
+// TestObsStudyCounters: with the hub enabled, a small study populates
+// the runcells/prep/cache scopes, and the snapshot carries coherent
+// values.
+func TestObsStudyCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.Enable(reg, nil)
+	defer obs.Disable()
+
+	suite := uservices.NewSuite()
+	if _, err := ChipStudyParallel(suite, 8, 7, false, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	byName := map[string]obs.ScopeSnapshot{}
+	for _, sc := range snap.Scopes {
+		byName[sc.Name] = sc
+	}
+	rc, ok := byName["core.runcells"]
+	if !ok {
+		t.Fatalf("core.runcells scope missing; scopes %v", names(snap))
+	}
+	cells := rc.Counters["cells"]
+	if want := int64(len(suite.Services) * 3); cells != want {
+		t.Fatalf("cells %d, want %d", cells, want)
+	}
+	if rc.Counters["busy_ns"] <= 0 || rc.Counters["wall_ns"] <= 0 {
+		t.Fatalf("runcells timing not recorded: %+v", rc.Counters)
+	}
+	pp, ok := byName["core.prep"]
+	if !ok {
+		t.Fatalf("core.prep scope missing; scopes %v", names(snap))
+	}
+	if pp.Counters["units"] <= 0 || pp.Counters["prep_ns"] <= 0 || pp.Counters["consume_ns"] <= 0 {
+		t.Fatalf("prep pipeline occupancy not recorded: %+v", pp.Counters)
+	}
+	tc, ok := byName["trace.cache"]
+	if !ok {
+		t.Fatalf("trace.cache scope missing; scopes %v", names(snap))
+	}
+	if tc.Counters["hits"] <= 0 || tc.Counters["misses"] <= 0 {
+		t.Fatalf("trace cache counters not recorded: %+v", tc.Counters)
+	}
+	if tc.Counters["drops"] < int64(len(suite.Services)) {
+		t.Fatalf("drops %d, want >= one per service", tc.Counters["drops"])
+	}
+	if tc.Gauges["bytes_hwm"] <= 0 {
+		t.Fatalf("bytes high-water mark not recorded: %+v", tc.Gauges)
+	}
+}
+
+// TestObsDoesNotPerturbStudy: enabling observability must leave study
+// results byte-identical.
+func TestObsDoesNotPerturbStudy(t *testing.T) {
+	suite := uservices.NewSuite()
+	run := func() []ChipRow {
+		rows, err := ChipStudyParallel(suite, 8, 7, false, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	obs.Disable()
+	plain := run()
+	obs.Enable(obs.NewRegistry(), obs.NewTraceSink())
+	defer obs.Disable()
+	observed := run()
+	for i := range plain {
+		a, b := plain[i], observed[i]
+		if a.Service != b.Service ||
+			a.CPU.Stats.Cycles != b.CPU.Stats.Cycles ||
+			a.RPU.Stats.Cycles != b.RPU.Stats.Cycles ||
+			a.CPU.Energy.Total() != b.CPU.Energy.Total() ||
+			a.RPU.Energy.Total() != b.RPU.Energy.Total() {
+			t.Fatalf("observability perturbed row %d: %+v vs %+v", i, a, b)
+		}
+	}
+	if obs.Trace().Len() == 0 {
+		t.Fatal("no trace events recorded while enabled")
+	}
+}
+
+func names(s obs.Snapshot) []string {
+	out := make([]string, len(s.Scopes))
+	for i, sc := range s.Scopes {
+		out[i] = sc.Name
+	}
+	return out
+}

@@ -36,13 +36,18 @@ func RunCells[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	po := cellsProbe(workers)
+	start := po.clock()
+	defer po.finish(start)
 	out := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			t0 := po.clock()
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
 			}
+			po.cell(0, t0)
 			out[i] = v
 		}
 		return out, nil
@@ -58,13 +63,14 @@ func RunCells[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || stop.Load() {
 					return
 				}
+				t0 := po.clock()
 				v, err := fn(i)
 				if err != nil {
 					mu.Lock()
@@ -75,9 +81,10 @@ func RunCells[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 					stop.Store(true)
 					return
 				}
+				po.cell(w, t0)
 				out[i] = v
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if first != nil {

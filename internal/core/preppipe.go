@@ -90,12 +90,17 @@ func pipelined(n, lookahead int, prep func(slot, i int) error, consume func(slot
 	if n <= 0 {
 		return nil
 	}
+	po := prepProbe(lookahead)
+	defer po.finish()
 	if lookahead <= 0 || n == 1 {
 		for i := 0; i < n; i++ {
+			t0 := po.clock()
 			if err := prep(0, i); err != nil {
 				return err
 			}
+			t1 := po.clock()
 			consume(0, i)
+			po.inline(t0, t1)
 		}
 		return nil
 	}
@@ -121,12 +126,18 @@ func pipelined(n, lookahead int, prep func(slot, i int) error, consume func(slot
 		go func(s int) {
 			defer wg.Done()
 			for i := s; i < n; i += nslots {
+				tw := po.clock()
 				select {
 				case <-free[s]:
 				case <-stop:
 					return
 				}
+				po.stall(tw)
+				t0 := po.clock()
 				err := prep(s, i)
+				if err == nil {
+					po.prep(s, t0)
+				}
 				ready[s] <- err
 				if err != nil {
 					return
@@ -137,6 +148,7 @@ func pipelined(n, lookahead int, prep func(slot, i int) error, consume func(slot
 
 	for i := 0; i < n; i++ {
 		s := i % nslots
+		tw := po.clock()
 		if err := <-ready[s]; err != nil {
 			// The consumer walks units in order, so the first error it
 			// meets has the lowest index among all failed preps.
@@ -144,7 +156,9 @@ func pipelined(n, lookahead int, prep func(slot, i int) error, consume func(slot
 			wg.Wait()
 			return err
 		}
+		t0 := po.clock()
 		consume(s, i)
+		po.consume(t0, t0.Sub(tw))
 		free[s] <- struct{}{}
 	}
 	wg.Wait()

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Inc()
+	if c.Load() != 4 {
+		t.Fatalf("counter %d, want 4", c.Load())
+	}
+	var g Gauge
+	g.Set(7)
+	g.SetMax(5)
+	if g.Load() != 7 {
+		t.Fatalf("gauge %d, want 7 (SetMax must not lower)", g.Load())
+	}
+	g.SetMax(11)
+	if g.Load() != 11 {
+		t.Fatalf("gauge %d, want 11", g.Load())
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	// Bucket i holds v <= bounds[i]; the last bucket is overflow.
+	for _, v := range []float64{0.5, 1.0} {
+		h.Observe(v) // bucket 0 (v <= 1)
+	}
+	h.Observe(1.5) // bucket 1
+	h.Observe(2.0) // bucket 1 (inclusive upper bound)
+	h.Observe(4.9) // bucket 2
+	h.Observe(5.1) // overflow
+	s := h.snapshot()
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count %d, want 6", s.Count)
+	}
+	if s.Sum < 15.0-1e-9 || s.Sum > 15.0+1e-9 {
+		t.Fatalf("sum %v, want 15", s.Sum)
+	}
+}
+
+func TestRegistrySnapshotDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Concurrent writers across several scopes; snapshot mid-flight must
+	// be race-free, and two quiescent snapshots must render identically.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			names := []string{"zeta", "alpha", "mid"}
+			sc := r.Scope(names[i%len(names)])
+			for j := 0; j < 1000; j++ {
+				sc.Counter("ops").Inc()
+				sc.Gauge("hwm").SetMax(int64(j))
+				sc.Histogram("lat", []float64{1, 10, 100}).Observe(float64(j % 150))
+			}
+		}(i)
+	}
+	_ = r.Snapshot() // concurrent with the writers: -race must stay clean
+	wg.Wait()
+
+	var a, b bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	snap := r.Snapshot()
+	names := []string{"alpha", "mid", "zeta"}
+	if len(snap.Scopes) != 3 {
+		t.Fatalf("scopes %d, want 3", len(snap.Scopes))
+	}
+	total := int64(0)
+	for i, sc := range snap.Scopes {
+		if sc.Name != names[i] {
+			t.Fatalf("scope %d = %q, want %q (sorted)", i, sc.Name, names[i])
+		}
+		total += sc.Counters["ops"]
+	}
+	if total != 8000 {
+		t.Fatalf("ops across scopes %d, want 8000", total)
+	}
+}
+
+func TestDisabledPathAllocs(t *testing.T) {
+	Disable()
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		s *TraceSink
+	)
+	n := testing.AllocsPerRun(200, func() {
+		c.Add(1)
+		c.Inc()
+		g.Set(1)
+		g.SetMax(2)
+		h.Observe(3.5)
+		s.Complete("x", "y", 0, 0, 1, 2)
+		s.CounterPair("q", 0, 1, "a", 1, "b", 2)
+		s.Instant("i", "c", 0, 0, 1)
+		_ = s.TS(time.Time{})
+		// The full disabled resolution chain: nil registry -> nil scope
+		// -> nil instruments.
+		reg := Default()
+		reg.Scope("core.prep").Counter("stall_ns").Add(5)
+		Trace().Complete("cell", "runcells", 0, 0, 0, 0)
+	})
+	if n != 0 {
+		t.Fatalf("disabled instrumentation allocates %v allocs/op, want 0", n)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer Disable()
+	if Enabled() {
+		t.Fatal("enabled before Enable")
+	}
+	r := NewRegistry()
+	sink := NewTraceSink()
+	Enable(r, sink)
+	if !Enabled() || Default() != r || Trace() != sink {
+		t.Fatal("Enable did not install hub")
+	}
+	Default().Scope("s").Counter("c").Inc()
+	if got := r.Snapshot().Scopes[0].Counters["c"]; got != 1 {
+		t.Fatalf("counter via global = %d, want 1", got)
+	}
+	Disable()
+	if Enabled() || Default() != nil || Trace() != nil {
+		t.Fatal("Disable did not clear hub")
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Scope("a").Counter("n").Add(2)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Scopes []struct {
+			Name     string           `json:"name"`
+			Counters map[string]int64 `json:"counters"`
+		} `json:"scopes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded.Scopes) != 1 || decoded.Scopes[0].Name != "a" || decoded.Scopes[0].Counters["n"] != 2 {
+		t.Fatalf("unexpected snapshot shape: %s", buf.String())
+	}
+}

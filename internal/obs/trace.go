@@ -1,0 +1,119 @@
+// Chrome-trace event sink: collects events in the Trace Event Format's
+// "JSON array" flavour, which chrome://tracing and Perfetto load
+// directly. Timestamps are microseconds; wall-clock instrumentation
+// stamps events relative to the sink's creation via TS, while the
+// queueing simulator stamps them on its own simulated clock.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one Trace Event Format entry. Ph "X" is a complete event
+// (needs Dur), "C" a counter sample, "i" an instant and "M" metadata.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceSink accumulates trace events. It is safe for concurrent use;
+// every method is a no-op on a nil receiver so disabled call sites pay
+// a single pointer test.
+type TraceSink struct {
+	start time.Time
+	mu    sync.Mutex
+	evs   []Event
+}
+
+// NewTraceSink returns an empty sink whose TS epoch is now.
+func NewTraceSink() *TraceSink { return &TraceSink{start: time.Now()} }
+
+// TS converts a wall-clock instant into the sink's timestamp space
+// (microseconds since sink creation). Returns 0 on a nil receiver.
+func (s *TraceSink) TS(t time.Time) float64 {
+	if s == nil {
+		return 0
+	}
+	return float64(t.Sub(s.start)) / float64(time.Microsecond)
+}
+
+func (s *TraceSink) add(e Event) {
+	s.mu.Lock()
+	s.evs = append(s.evs, e)
+	s.mu.Unlock()
+}
+
+// Complete records a ph "X" span of dur microseconds starting at ts.
+func (s *TraceSink) Complete(name, cat string, pid, tid int, ts, dur float64) {
+	if s == nil {
+		return
+	}
+	s.add(Event{Name: name, Cat: cat, Ph: "X", TS: ts, Dur: dur, PID: pid, TID: tid})
+}
+
+// Instant records a ph "i" point event.
+func (s *TraceSink) Instant(name, cat string, pid, tid int, ts float64) {
+	if s == nil {
+		return
+	}
+	s.add(Event{Name: name, Cat: cat, Ph: "i", TS: ts, PID: pid, TID: tid, Args: map[string]any{"s": "t"}})
+}
+
+// CounterPair records a ph "C" counter sample with two named series —
+// the allocation-free-when-disabled form the hot paths use (a map
+// literal at the call site would allocate even when the sink is nil).
+func (s *TraceSink) CounterPair(name string, pid int, ts float64, k1 string, v1 float64, k2 string, v2 float64) {
+	if s == nil {
+		return
+	}
+	s.add(Event{Name: name, Ph: "C", TS: ts, PID: pid, Args: map[string]any{k1: v1, k2: v2}})
+}
+
+// Meta records a ph "M" metadata event; name "process_name" with a
+// "name" arg labels pid's track in the viewer.
+func (s *TraceSink) Meta(name string, pid int, label string) {
+	if s == nil {
+		return
+	}
+	s.add(Event{Name: name, Ph: "M", PID: pid, Args: map[string]any{"name": label}})
+}
+
+// Len returns the number of recorded events.
+func (s *TraceSink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.evs)
+}
+
+// WriteJSON writes the events as a Trace Event Format JSON array.
+func (s *TraceSink) WriteJSON(w io.Writer) error {
+	if s == nil {
+		_, err := w.Write([]byte("[]\n"))
+		return err
+	}
+	s.mu.Lock()
+	evs := append([]Event(nil), s.evs...)
+	s.mu.Unlock()
+	if len(evs) == 0 {
+		_, err := w.Write([]byte("[]\n"))
+		return err
+	}
+	raw, err := json.MarshalIndent(evs, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(raw, '\n'))
+	return err
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the Chrome-trace golden file")
+
+// TestTraceGolden renders a small deterministic timeline (explicit
+// timestamps, no wall clock) and compares it byte for byte against the
+// checked-in golden file. Run with -update-golden after an intentional
+// format change.
+func TestTraceGolden(t *testing.T) {
+	s := NewTraceSink()
+	s.Meta("process_name", 1, "queuesim cpu-qps5000")
+	s.Complete("web", "station", 1, 0, 0, 250)
+	s.Complete("user", "station", 1, 1, 310, 1500)
+	s.CounterPair("user", 1, 310, "busy", 1, "queue", 0)
+	s.CounterPair("user", 1, 1810, "busy", 0, "queue", 2)
+	s.Instant("batch-flush", "rpu", 1, 0, 1810)
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace export differs from golden file:\n got: %s\nwant: %s", buf.String(), want)
+	}
+}
+
+// TestTracePerfettoShape checks the invariants the acceptance criteria
+// name: the export is a JSON array of events carrying ph, ts and name.
+func TestTracePerfettoShape(t *testing.T) {
+	s := NewTraceSink()
+	s.Complete("cell", "runcells", 0, 3, 12.5, 100)
+	s.CounterPair("memcached", 2, 40, "busy", 3, "queue", 1)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(evs) != 2 {
+		t.Fatalf("events %d, want 2", len(evs))
+	}
+	for i, e := range evs {
+		for _, k := range []string{"name", "ph"} {
+			if _, ok := e[k].(string); !ok {
+				t.Fatalf("event %d missing %q: %v", i, k, e)
+			}
+		}
+		if _, ok := e["ts"].(float64); !ok {
+			t.Fatalf("event %d missing ts: %v", i, e)
+		}
+	}
+}
+
+func TestEmptySinkWritesArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTraceSink().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil || len(evs) != 0 {
+		t.Fatalf("empty sink should render []: %q err %v", buf.String(), err)
+	}
+	// Nil sink: same shape, so drivers can write unconditionally.
+	buf.Reset()
+	var nilSink *TraceSink
+	if err := nilSink.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("nil sink export invalid: %v", err)
+	}
+}

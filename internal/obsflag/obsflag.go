@@ -1,0 +1,93 @@
+// Package obsflag wires the shared observability flag pair into the
+// cmd drivers, next to internal/prof's -cpuprofile/-memprofile
+// plumbing: -metrics writes a deterministic obs.Registry snapshot and
+// -trace writes a Chrome-trace (chrome://tracing / Perfetto) JSON
+// timeline on exit. With neither flag given the global hub stays
+// disabled, every instrument resolves to a nil no-op, and study output
+// stays byte-identical.
+package obsflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"simr/internal/obs"
+)
+
+// Flags holds the registered flag values for one driver.
+type Flags struct {
+	metrics *string
+	trace   *string
+
+	reg  *obs.Registry
+	sink *obs.TraceSink
+}
+
+// Add registers -metrics and -trace on fs (flag.CommandLine for the
+// drivers). Call before flag.Parse.
+func Add(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	f.metrics = fs.String("metrics", "", "write a metrics-registry JSON snapshot to this file on exit")
+	f.trace = fs.String("trace", "", "write a Chrome-trace (Perfetto) JSON timeline to this file on exit")
+	return f
+}
+
+// Setup installs the global obs hub when either flag was given. Call
+// once, after flag.Parse and before the instrumented work runs.
+func (f *Flags) Setup() {
+	if *f.metrics == "" && *f.trace == "" {
+		return
+	}
+	if *f.metrics != "" {
+		f.reg = obs.NewRegistry()
+	}
+	if *f.trace != "" {
+		f.sink = obs.NewTraceSink()
+	}
+	obs.Enable(f.reg, f.sink)
+}
+
+// Finish writes the requested files and disables the hub. Returns the
+// first write error; Close is the log-and-continue variant the drivers
+// defer.
+func (f *Flags) Finish() error {
+	if f.reg == nil && f.sink == nil {
+		return nil
+	}
+	obs.Disable()
+	var firstErr error
+	if f.reg != nil {
+		if err := writeTo(*f.metrics, f.reg.Snapshot().WriteJSON); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if f.sink != nil {
+		if err := writeTo(*f.trace, f.sink.WriteJSON); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	f.reg, f.sink = nil, nil
+	return firstErr
+}
+
+// Close runs Finish and reports any error on stderr — the deferred
+// form for main functions.
+func (f *Flags) Close() {
+	if err := f.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "obsflag: %v\n", err)
+	}
+}
+
+func writeTo(path string, write func(w io.Writer) error) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

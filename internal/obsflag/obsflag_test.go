@@ -1,0 +1,75 @@
+package obsflag
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"simr/internal/obs"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := Add(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Setup()
+	if obs.Enabled() {
+		t.Fatal("hub enabled with neither flag given")
+	}
+	if err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritesMetricsAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	mPath := filepath.Join(dir, "m.json")
+	tPath := filepath.Join(dir, "t.json")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := Add(fs)
+	if err := fs.Parse([]string{"-metrics", mPath, "-trace", tPath}); err != nil {
+		t.Fatal(err)
+	}
+	f.Setup()
+	if !obs.Enabled() {
+		t.Fatal("hub not enabled")
+	}
+	obs.Default().Scope("s").Counter("c").Add(3)
+	obs.Trace().Complete("e", "cat", 0, 0, 1, 2)
+	if err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Enabled() {
+		t.Fatal("hub still enabled after Finish")
+	}
+
+	var snap struct {
+		Scopes []struct {
+			Name     string           `json:"name"`
+			Counters map[string]int64 `json:"counters"`
+		} `json:"scopes"`
+	}
+	raw, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics file invalid: %v", err)
+	}
+	if len(snap.Scopes) != 1 || snap.Scopes[0].Counters["c"] != 3 {
+		t.Fatalf("metrics content wrong: %s", raw)
+	}
+
+	var evs []map[string]any
+	raw, err = os.ReadFile(tPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &evs); err != nil || len(evs) != 1 {
+		t.Fatalf("trace file invalid: %v %s", err, raw)
+	}
+}

@@ -13,17 +13,19 @@ import (
 // Start begins CPU profiling into cpuPath (if non-empty) and returns a
 // stop function that finishes the CPU profile and writes a heap profile
 // to memPath (if non-empty). Either path may be empty; stop is never
-// nil and is safe to call once.
+// nil — on error it is a no-op — and is safe to call once, so callers
+// may `defer stop()` before checking err.
 func Start(cpuPath, memPath string) (stop func(), err error) {
+	nop := func() {}
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
 		if err != nil {
-			return nil, fmt.Errorf("prof: %w", err)
+			return nop, fmt.Errorf("prof: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
 			cpuFile.Close()
-			return nil, fmt.Errorf("prof: %w", err)
+			return nop, fmt.Errorf("prof: %w", err)
 		}
 	}
 	return func() {

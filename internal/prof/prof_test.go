@@ -1,0 +1,53 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartErrorReturnsNoopStop pins the documented contract: stop is
+// never nil, so a caller that defers it before checking the error must
+// not panic even when the profile path is unwritable.
+func TestStartErrorReturnsNoopStop(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "missing-dir", "cpu.prof")
+	stop, err := Start(bad, "")
+	if err == nil {
+		t.Fatalf("Start(%q) succeeded, want error", bad)
+	}
+	if stop == nil {
+		t.Fatal("Start returned nil stop on error; defer stop() would panic")
+	}
+	stop() // must be a safe no-op
+}
+
+func TestStartSuccessWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = make([]byte, 1024)
+	}
+	stop()
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartEmptyPathsNoop(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}

@@ -27,6 +27,8 @@ type ComposePostConfig struct {
 	NetHop       float64
 	Cores        int
 	Seed         int64
+	// Monitor optionally observes the run; nil records nothing.
+	Monitor *Monitor
 }
 
 // DefaultComposePost returns a calibrated compose-post scenario whose
@@ -60,6 +62,7 @@ func DefaultComposePost() ComposePostConfig {
 // themselves, which the 5x-capacity tiers model).
 func RunComposePost(cfg ComposePostConfig) *Metrics {
 	sim := NewSim(cfg.Seed)
+	sim.Mon = cfg.Monitor
 	m := &Metrics{Offered: cfg.QPS, Latency: stats.NewSample(int(cfg.QPS * cfg.Seconds))}
 
 	lat := 1.0

@@ -15,8 +15,10 @@ func TestEventOrdering(t *testing.T) {
 	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
 		t.Fatalf("order %v", order)
 	}
-	if s.Now() != 9 {
-		t.Fatalf("clock %v", s.Now())
+	// The clock finishes at the horizon even though the heap drained at
+	// t=9, so rate denominators are horizon-independent of queue state.
+	if s.Now() != 100 {
+		t.Fatalf("clock %v, want 100", s.Now())
 	}
 }
 
@@ -69,11 +71,78 @@ func TestStationUtilization(t *testing.T) {
 	s := NewSim(1)
 	st := NewStation(s, "t", 1)
 	st.Submit(50, nil)
-	s.At(100, func() {}) // extend the clock
-	s.Run(1000)
+	s.Run(100)
 	u := st.Utilization()
 	if u < 0.45 || u > 0.55 {
 		t.Fatalf("utilization %v, want ~0.5", u)
+	}
+}
+
+// TestUtilizationConsistentAcrossExitPaths is the regression test for
+// the Sim.Run clock bug: a run whose heap drains before the horizon
+// used to leave now at the last event's timestamp while a run stopped
+// by a future event set now = until, so Utilization() divided the same
+// busy time by different denominators depending on how the run ended.
+func TestUtilizationConsistentAcrossExitPaths(t *testing.T) {
+	// Exit path 1: the heap drains (only event at t=50).
+	drained := NewSim(1)
+	sd := NewStation(drained, "t", 1)
+	sd.Submit(50, nil)
+	drained.Run(200)
+	if drained.Now() != 200 {
+		t.Fatalf("drained run clock %v, want 200 (old behaviour: 50)", drained.Now())
+	}
+
+	// Exit path 2: stopped by an event beyond the horizon.
+	stopped := NewSim(1)
+	ss := NewStation(stopped, "t", 1)
+	ss.Submit(50, nil)
+	stopped.At(500, func() {})
+	stopped.Run(200)
+	if stopped.Now() != 200 {
+		t.Fatalf("stopped run clock %v, want 200", stopped.Now())
+	}
+
+	ud, us := sd.Utilization(), ss.Utilization()
+	if ud != us {
+		t.Fatalf("utilization depends on exit path: drained %v vs stopped %v", ud, us)
+	}
+	if ud < 0.24 || ud > 0.26 {
+		t.Fatalf("utilization %v, want 50/200 = 0.25", ud)
+	}
+}
+
+// TestUtilizationSettlesBusyTail: a station still busy when the run
+// stops must be credited for the busy time since its last state
+// change.
+func TestUtilizationSettlesBusyTail(t *testing.T) {
+	s := NewSim(1)
+	st := NewStation(s, "t", 1)
+	st.Submit(100, nil) // completion at t=100 is beyond the horizon
+	s.Run(50)
+	if u := st.Utilization(); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization %v, want 1.0 (busy tail not settled)", u)
+	}
+	// Settlement must not double-count once the event loop resumes.
+	s.Run(100)
+	if u := st.Utilization(); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization after resume %v, want 1.0", u)
+	}
+}
+
+// TestRunKeepsFutureEvents: stopping on a beyond-horizon event must not
+// drop it — a later Run picks it up.
+func TestRunKeepsFutureEvents(t *testing.T) {
+	s := NewSim(1)
+	fired := false
+	s.At(80, func() { fired = true })
+	s.Run(50)
+	if fired {
+		t.Fatal("event fired before its time")
+	}
+	s.Run(100)
+	if !fired {
+		t.Fatal("future event was dropped by the earlier Run")
 	}
 }
 

@@ -45,6 +45,11 @@ type Sim struct {
 	pq  eventHeap
 	seq uint64
 	Rng *rand.Rand
+	// Mon optionally observes the run (station time series, per-hop
+	// latency histograms, trace events on the simulated clock). Set it
+	// before creating stations; nil (the default) records nothing and
+	// costs one pointer test per state change.
+	Mon *Monitor
 }
 
 // NewSim creates a simulator with the given random seed.
@@ -64,16 +69,23 @@ func (s *Sim) At(delay float64, fn func()) {
 	heap.Push(&s.pq, event{at: s.now + delay, seq: s.seq, fn: fn})
 }
 
-// Run processes events until the queue empties or time exceeds until.
+// Run processes events until the queue empties or the next event lies
+// beyond until. Either way the clock finishes at until, so time-based
+// rates (station utilisation, throughput over the horizon) use the
+// same denominator regardless of how the run ended. A future event
+// that stops the run stays queued for a later Run call.
 func (s *Sim) Run(until float64) {
 	for s.pq.Len() > 0 {
 		e := heap.Pop(&s.pq).(event)
 		if e.at > until {
-			s.now = until
-			return
+			heap.Push(&s.pq, e)
+			break
 		}
 		s.now = e.at
 		e.fn()
+	}
+	if s.now < until {
+		s.now = until
 	}
 }
 
@@ -93,27 +105,37 @@ type Station struct {
 	// Busy-time accounting for utilisation reporting.
 	busyTime   float64
 	lastChange float64
+	// probe is the optional observability hook (nil unless sim.Mon was
+	// set when the station was created). It only reads station state.
+	probe *stationProbe
 }
 
 type work struct {
 	demand float64
+	enq    float64 // submission time, for per-hop sojourn observation
 	done   func()
 }
 
 // NewStation creates a station with c servers.
 func NewStation(sim *Sim, name string, c int) *Station {
-	return &Station{sim: sim, Name: name, Servers: c}
+	st := &Station{sim: sim, Name: name, Servers: c}
+	st.probe = sim.Mon.station(st)
+	return st
 }
 
 // Submit enqueues a work item requiring demand service time; done runs
 // when service completes.
 func (st *Station) Submit(demand float64, done func()) {
-	st.queue = append(st.queue, work{demand: demand, done: done})
+	st.queue = append(st.queue, work{demand: demand, enq: st.sim.now, done: done})
 	st.dispatch()
+	st.probe.sample()
 }
 
 func (st *Station) dispatch() {
 	for st.busy < st.Servers && len(st.queue) > 0 {
+		// w is declared fresh each iteration, so the At callback below
+		// closes over this iteration's item only (audited: no shared
+		// loop-variable capture).
 		w := st.queue[0]
 		st.queue = st.queue[1:]
 		st.account()
@@ -121,6 +143,8 @@ func (st *Station) dispatch() {
 		st.sim.At(w.demand, func() {
 			st.account()
 			st.busy--
+			st.probe.observe(st.sim.now - w.enq)
+			st.probe.sample()
 			if w.done != nil {
 				w.done()
 			}
@@ -135,11 +159,16 @@ func (st *Station) account() {
 }
 
 // Utilization returns average busy servers / servers over the run.
+// account() only settles busy time on dispatch and completion events,
+// so the still-busy tail between the last state change and the current
+// clock is added here; combined with Run finishing the clock at its
+// horizon, the numerator and denominator always cover the same window.
 func (st *Station) Utilization() float64 {
 	if st.sim.now == 0 || st.Servers == 0 {
 		return 0
 	}
-	return st.busyTime / (st.sim.now * float64(st.Servers))
+	settled := st.busyTime + float64(st.busy)*(st.sim.now-st.lastChange)
+	return settled / (st.sim.now * float64(st.Servers))
 }
 
 // QueueLen returns the instantaneous queue length.

@@ -43,6 +43,10 @@ type Config struct {
 	Cores int
 	// Seed for the random streams.
 	Seed int64
+	// Monitor optionally observes the run (station time series, hop
+	// histograms, trace events); nil records nothing. Observation never
+	// changes the simulation results.
+	Monitor *Monitor
 }
 
 // DefaultConfig returns the paper's §V-B setup. The per-request User
@@ -112,6 +116,7 @@ type request struct {
 // Run simulates one load point and returns its metrics.
 func Run(cfg Config) *Metrics {
 	sim := NewSim(cfg.Seed)
+	sim.Mon = cfg.Monitor
 	m := &Metrics{Offered: cfg.QPS, Latency: stats.NewSample(int(cfg.QPS * cfg.Seconds))}
 
 	// Capacity: the RPU system consumes the same power and delivers 5x

@@ -25,6 +25,7 @@ import (
 
 	"simr/internal/alloc"
 	"simr/internal/isa"
+	"simr/internal/obs"
 	"simr/internal/uservices"
 )
 
@@ -128,12 +129,29 @@ type Cache struct {
 	misses   atomic.Uint64
 	bypassed atomic.Uint64
 	bytes    atomic.Int64
+
+	// Optional observability mirrors (nil no-ops when the obs hub was
+	// not installed at construction time). The counters aggregate over
+	// every cache of the process under one scope, so a sweep's snapshot
+	// shows total cache effectiveness; bytesHWM tracks the single-cache
+	// retained-bytes high-water mark against the byte budget.
+	obsHits, obsMisses, obsBypassed, obsDrops, obsDroppedBytes *obs.Counter
+	obsBytesHWM                                                *obs.Gauge
 }
 
 // NewCache returns a cache for svc drawing on the shared budget
 // (budget may be nil for an unbounded cache).
 func NewCache(svc *uservices.Service, budget *Budget) *Cache {
-	return &Cache{svc: svc, budget: budget, m: map[key]*entry{}}
+	c := &Cache{svc: svc, budget: budget, m: map[key]*entry{}}
+	if sc := obs.Default().Scope("trace.cache"); sc != nil {
+		c.obsHits = sc.Counter("hits")
+		c.obsMisses = sc.Counter("misses")
+		c.obsBypassed = sc.Counter("bypassed")
+		c.obsDrops = sc.Counter("drops")
+		c.obsDroppedBytes = sc.Counter("dropped_bytes")
+		c.obsBytesHWM = sc.Gauge("bytes_hwm")
+	}
+	return c
 }
 
 // Stats reports cache effectiveness counters.
@@ -202,11 +220,13 @@ func (c *Cache) Request(req *uservices.Request, tid int, stackBase uint64, polic
 		// Dropped: serve fresh without re-populating.
 		c.mu.Unlock()
 		c.bypassed.Add(1)
+		c.obsBypassed.Inc()
 		return interpret(c.svc, req, tid, stackBase, policy, lineBytes, banks)
 	}
 	if e, ok := c.m[k]; ok {
 		c.mu.Unlock()
 		c.hits.Add(1)
+		c.obsHits.Inc()
 		<-e.ready
 		return e.ops, e.err
 	}
@@ -214,6 +234,7 @@ func (c *Cache) Request(req *uservices.Request, tid int, stackBase uint64, polic
 	c.m[k] = e
 	c.mu.Unlock()
 	c.misses.Add(1)
+	c.obsMisses.Inc()
 
 	e.ops, e.err = interpret(c.svc, req, tid, stackBase, policy, lineBytes, banks)
 	cost := traceOpBytes * int64(len(e.ops))
@@ -226,7 +247,7 @@ func (c *Cache) Request(req *uservices.Request, tid int, stackBase uint64, polic
 		retained = c.m != nil && c.m[k] == e
 		c.mu.Unlock()
 		if retained {
-			c.bytes.Add(cost)
+			c.obsBytesHWM.SetMax(c.bytes.Add(cost))
 			e.retained = true
 		} else {
 			c.budget.release(cost)
@@ -237,6 +258,7 @@ func (c *Cache) Request(req *uservices.Request, tid int, stackBase uint64, polic
 		// is already computed — but do not retain it; future requests
 		// for this key re-interpret.
 		c.bypassed.Add(1)
+		c.obsBypassed.Inc()
 		c.mu.Lock()
 		if c.m != nil && c.m[k] == e {
 			delete(c.m, k)
@@ -300,4 +322,6 @@ func (c *Cache) Drop() {
 	}
 	c.bytes.Add(-freed)
 	c.budget.release(freed)
+	c.obsDrops.Inc()
+	c.obsDroppedBytes.Add(freed)
 }
