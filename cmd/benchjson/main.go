@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -24,6 +25,8 @@ import (
 	"simr/internal/core"
 	"simr/internal/obs"
 	"simr/internal/queuesim"
+	"simr/internal/sample"
+	"simr/internal/sampleflag"
 	"simr/internal/uservices"
 )
 
@@ -37,13 +40,15 @@ type BenchResult struct {
 	WhatDiffer string  `json:"pipelined_config"`
 }
 
-// BenchEntry is one appended trajectory point.
+// BenchEntry is one appended trajectory point. GoMaxProcs, Seed and
+// Sample make every row self-describing and comparable across hosts.
 type BenchEntry struct {
 	Timestamp  string        `json:"timestamp"`
 	GoMaxProcs int           `json:"gomaxprocs"`
 	Workers    int           `json:"workers"`
 	Requests   int           `json:"requests"`
 	Seed       int64         `json:"seed"`
+	Sample     string        `json:"sample"`
 	Results    []BenchResult `json:"results"`
 }
 
@@ -57,8 +62,38 @@ type StudyEntry struct {
 	Workers    int          `json:"workers"`
 	Requests   int          `json:"requests"`
 	Seed       int64        `json:"seed"`
+	Sample     string       `json:"sample"`
 	Result     BenchResult  `json:"result"`
 	Metrics    obs.Snapshot `json:"metrics"`
+}
+
+// SamplingMetric is one headline metric's sampled-vs-full error over
+// the chip-study cells.
+type SamplingMetric struct {
+	Name string `json:"name"`
+	// GeoMeanErr is exp(mean(ln(1+|err|)))-1 over the cells.
+	GeoMeanErr float64 `json:"geomean_err"`
+	MaxErr     float64 `json:"max_err"`
+	// MeanRelCI averages the estimate's own reported 95% CI, so the
+	// trajectory records predicted next to realised error.
+	MeanRelCI float64 `json:"mean_rel_ci95"`
+}
+
+// SamplingEntry is one sampled-vs-full trajectory point, written to
+// BENCH_sampling.json.
+type SamplingEntry struct {
+	Timestamp  string           `json:"timestamp"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Workers    int              `json:"workers"`
+	Requests   int              `json:"requests"`
+	Seed       int64            `json:"seed"`
+	Sample     string           `json:"sample"`
+	FullSec    float64          `json:"full_s"`
+	SampledSec float64          `json:"sampled_s"`
+	Speedup    float64          `json:"speedup"`
+	TimedUnits int              `json:"timed_units"`
+	TotalUnits int              `json:"total_units"`
+	Metrics    []SamplingMetric `json:"metrics"`
 }
 
 // studyMetrics gates the per-study registry snapshots; set from
@@ -72,8 +107,21 @@ func main() {
 	seconds := flag.Float64("seconds", 1, "simulated seconds per syssim load point")
 	out := flag.String("out", "BENCH_pipeline.json", "bench trajectory file to append to")
 	perStudy := flag.Bool("studymetrics", true, "append per-study entries with metrics snapshots to BENCH_<study>.json")
+	sampleFlags := sampleflag.Add(flag.CommandLine)
 	flag.Parse()
 	studyMetrics = *perStudy
+	scfg, err := sampleFlags.Setup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The seq-vs-pipelined pairs always run unsampled — they measure
+	// the prep pipeline, and their entries record sample="off"
+	// accordingly. The -sample flag chooses the config the dedicated
+	// sampled-vs-full study measures (default 4:1).
+	sample.SetDefault(sample.Config{})
+	if !scfg.Sampling() {
+		scfg = sample.Config{Period: 4, Warmup: 1}
+	}
 
 	suite := uservices.NewSuite()
 	stamp := time.Now().UTC().Format(time.RFC3339)
@@ -83,6 +131,7 @@ func main() {
 		Workers:    *workers,
 		Requests:   *requests,
 		Seed:       *seed,
+		Sample:     sample.Config{}.String(),
 	}
 
 	studies := []StudyEntry{
@@ -111,6 +160,7 @@ func main() {
 			s.Workers = *workers
 			s.Requests = *requests
 			s.Seed = *seed
+			s.Sample = entry.Sample
 			path := "BENCH_" + s.Result.Name + ".json"
 			if err := appendJSON(path, s); err != nil {
 				log.Fatal(err)
@@ -118,6 +168,118 @@ func main() {
 			fmt.Printf("appended to %s\n", path)
 		}
 	}
+
+	se := benchSampling(suite, *requests, *seed, *workers, scfg)
+	se.Timestamp = stamp
+	se.GoMaxProcs = entry.GoMaxProcs
+	se.Workers = *workers
+	se.Requests = *requests
+	se.Seed = *seed
+	fmt.Printf("%-22s full %7.3fs  sampled %7.3fs  speedup %.2fx  timed %d/%d\n",
+		"sampling-"+se.Sample, se.FullSec, se.SampledSec, se.Speedup, se.TimedUnits, se.TotalUnits)
+	for _, m := range se.Metrics {
+		fmt.Printf("  %-20s geomean err %6.2f%%  max err %6.2f%%  reported CI %6.2f%%\n",
+			m.Name, 100*m.GeoMeanErr, 100*m.MaxErr, 100*m.MeanRelCI)
+	}
+	if err := appendJSON("BENCH_sampling.json", se); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("appended to BENCH_sampling.json")
+}
+
+// benchSampling times the Figure 19 chip study fully simulated and
+// under the given sampling config, then compares the two on the
+// headline metrics (requests/joule and mean latency) cell by cell.
+// Both runs use the same worker pool and seed; the sampled run's own
+// CI estimates ride along so the trajectory records predicted next to
+// realised error.
+func benchSampling(suite *uservices.Suite, requests int, seed int64, workers int, scfg sample.Config) SamplingEntry {
+	run := func() []core.ChipRow {
+		rows, err := core.ChipStudyParallel(suite, requests, seed, false, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rows
+	}
+	sample.SetDefault(sample.Config{})
+	t0 := time.Now()
+	full := run()
+	fullSec := time.Since(t0).Seconds()
+
+	sample.SetDefault(scfg)
+	t1 := time.Now()
+	sampled := run()
+	sampledSec := time.Since(t1).Seconds()
+	sample.SetDefault(sample.Config{})
+
+	entry := SamplingEntry{
+		Sample:     scfg.String(),
+		FullSec:    fullSec,
+		SampledSec: sampledSec,
+		Speedup:    fullSec / sampledSec,
+	}
+
+	type accum struct {
+		logSum float64
+		maxErr float64
+		ciSum  float64
+		n      int
+	}
+	metrics := []struct {
+		name string
+		val  func(r *core.Result) float64
+		ci   func(e *sample.Estimate) float64
+	}{
+		{"req_per_joule", (*core.Result).ReqPerJoule,
+			func(e *sample.Estimate) float64 { return e.MaxRelCI() }},
+		{"mean_latency", (*core.Result).AvgLatencySec,
+			func(e *sample.Estimate) float64 { return e.Metric("cycles").RelCI95 }},
+	}
+	accums := make([]accum, len(metrics))
+	for i := range full {
+		pairs := [][2]*core.Result{
+			{full[i].CPU, sampled[i].CPU},
+			{full[i].SMT, sampled[i].SMT},
+			{full[i].RPU, sampled[i].RPU},
+			{full[i].GPU, sampled[i].GPU},
+		}
+		for _, p := range pairs {
+			if p[0] == nil || p[1] == nil {
+				continue
+			}
+			if est := p[1].Sampled; est != nil {
+				entry.TimedUnits += est.Timed
+				entry.TotalUnits += est.Units
+			}
+			for k, m := range metrics {
+				ref := m.val(p[0])
+				if ref == 0 {
+					continue
+				}
+				err := math.Abs(m.val(p[1])-ref) / ref
+				a := &accums[k]
+				a.logSum += math.Log1p(err)
+				if err > a.maxErr {
+					a.maxErr = err
+				}
+				if est := p[1].Sampled; est != nil {
+					a.ciSum += m.ci(est)
+				}
+				a.n++
+			}
+		}
+	}
+	for k, m := range metrics {
+		a := accums[k]
+		sm := SamplingMetric{Name: m.name}
+		if a.n > 0 {
+			sm.GeoMeanErr = math.Expm1(a.logSum / float64(a.n))
+			sm.MaxErr = a.maxErr
+			sm.MeanRelCI = a.ciSum / float64(a.n)
+		}
+		entry.Metrics = append(entry.Metrics, sm)
+	}
+	return entry
 }
 
 // timed runs f and returns its wall-clock seconds alongside its output.

@@ -26,6 +26,7 @@ import (
 	"simr/internal/energy"
 	"simr/internal/obsflag"
 	"simr/internal/prof"
+	"simr/internal/sampleflag"
 	"simr/internal/uservices"
 )
 
@@ -46,8 +47,12 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	obsFlags := obsflag.Add(flag.CommandLine)
+	sampleFlags := sampleflag.Add(flag.CommandLine)
 	flag.Parse()
 	core.SetPrepLookahead(*lookahead)
+	if _, err := sampleFlags.Setup(); err != nil {
+		log.Fatal(err)
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -163,6 +168,9 @@ func main() {
 		fmt.Println("Figure 21: latency-component metrics (RPU relative to CPU)")
 		core.WriteFig21(os.Stdout, rows)
 	}
+	// Prints nothing unless the study ran sampled (Period > 1), so
+	// default output is unchanged.
+	core.WriteSampling(os.Stdout, rows)
 }
 
 // runISPC prints the §VI-A study: one request per AVX lane on the CPU

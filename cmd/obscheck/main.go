@@ -6,9 +6,15 @@
 // load). CI runs it against the bench-smoke outputs; exit status 0
 // means the files are well-formed.
 //
+// It also validates BENCH_sampling.json trajectories (-sampling):
+// each entry must be self-describing (gomaxprocs, sample config),
+// carry positive wall-clock pairs, and report finite non-negative
+// per-metric errors with a timed-units split consistent with the
+// population.
+//
 // Usage:
 //
-//	obscheck [-metrics out.json] [-trace out.trace.json]
+//	obscheck [-metrics out.json] [-trace out.trace.json] [-sampling BENCH_sampling.json]
 package main
 
 import (
@@ -16,15 +22,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 )
 
 func main() {
 	metrics := flag.String("metrics", "", "metrics snapshot JSON to validate")
 	trace := flag.String("trace", "", "Chrome-trace JSON to validate")
+	sampling := flag.String("sampling", "", "BENCH_sampling.json trajectory to validate")
 	flag.Parse()
-	if *metrics == "" && *trace == "" {
-		log.Fatal("obscheck: give -metrics and/or -trace")
+	if *metrics == "" && *trace == "" && *sampling == "" {
+		log.Fatal("obscheck: give -metrics, -trace and/or -sampling")
 	}
 	if *metrics != "" {
 		if err := checkMetrics(*metrics); err != nil {
@@ -37,6 +45,12 @@ func main() {
 			log.Fatalf("obscheck: %s: %v", *trace, err)
 		}
 		fmt.Printf("%s: trace ok\n", *trace)
+	}
+	if *sampling != "" {
+		if err := checkSampling(*sampling); err != nil {
+			log.Fatalf("obscheck: %s: %v", *sampling, err)
+		}
+		fmt.Printf("%s: sampling trajectory ok\n", *sampling)
 	}
 }
 
@@ -93,6 +107,78 @@ func checkMetrics(path string) error {
 			if total != h.Count {
 				return fmt.Errorf("scope %s: histogram %s buckets sum to %d, count says %d",
 					sc.Name, name, total, h.Count)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSampling enforces the BENCH_sampling.json schema benchjson
+// writes: an array of self-describing sampled-vs-full entries.
+func checkSampling(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var entries []struct {
+		Timestamp  string  `json:"timestamp"`
+		GoMaxProcs int     `json:"gomaxprocs"`
+		Workers    int     `json:"workers"`
+		Requests   int     `json:"requests"`
+		Sample     string  `json:"sample"`
+		FullSec    float64 `json:"full_s"`
+		SampledSec float64 `json:"sampled_s"`
+		Speedup    float64 `json:"speedup"`
+		TimedUnits int     `json:"timed_units"`
+		TotalUnits int     `json:"total_units"`
+		Metrics    []struct {
+			Name       string  `json:"name"`
+			GeoMeanErr float64 `json:"geomean_err"`
+			MaxErr     float64 `json:"max_err"`
+			MeanRelCI  float64 `json:"mean_rel_ci95"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return fmt.Errorf("not a sampling trajectory: %w", err)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no entries recorded")
+	}
+	for i, e := range entries {
+		if e.Timestamp == "" {
+			return fmt.Errorf("entry %d: missing timestamp", i)
+		}
+		if e.GoMaxProcs < 1 {
+			return fmt.Errorf("entry %d: gomaxprocs %d", i, e.GoMaxProcs)
+		}
+		if e.Requests < 1 {
+			return fmt.Errorf("entry %d: requests %d", i, e.Requests)
+		}
+		if e.Sample == "" || e.Sample == "off" {
+			return fmt.Errorf("entry %d: sample config %q", i, e.Sample)
+		}
+		if e.FullSec <= 0 || e.SampledSec <= 0 || e.Speedup <= 0 {
+			return fmt.Errorf("entry %d: non-positive timings %v/%v/%v",
+				i, e.FullSec, e.SampledSec, e.Speedup)
+		}
+		if e.TimedUnits < 1 || e.TimedUnits > e.TotalUnits {
+			return fmt.Errorf("entry %d: timed units %d of %d", i, e.TimedUnits, e.TotalUnits)
+		}
+		if len(e.Metrics) == 0 {
+			return fmt.Errorf("entry %d: no metrics", i)
+		}
+		for _, m := range e.Metrics {
+			if m.Name == "" {
+				return fmt.Errorf("entry %d: metric with empty name", i)
+			}
+			for _, v := range []float64{m.GeoMeanErr, m.MaxErr, m.MeanRelCI} {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("entry %d: metric %s has bad value %v", i, m.Name, v)
+				}
+			}
+			if m.GeoMeanErr > m.MaxErr {
+				return fmt.Errorf("entry %d: metric %s geomean %v exceeds max %v",
+					i, m.Name, m.GeoMeanErr, m.MaxErr)
 			}
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"simr/internal/core"
 	"simr/internal/obsflag"
 	"simr/internal/prof"
+	"simr/internal/sampleflag"
 	"simr/internal/uservices"
 )
 
@@ -32,8 +33,12 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	obsFlags := obsflag.Add(flag.CommandLine)
+	sampleFlags := sampleflag.Add(flag.CommandLine)
 	flag.Parse()
 	core.SetPrepLookahead(*lookahead)
+	if _, err := sampleFlags.Setup(); err != nil {
+		log.Fatal(err)
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 
 	"simr/internal/core"
 	"simr/internal/obsflag"
+	"simr/internal/sampleflag"
 	"simr/internal/uservices"
 )
 
@@ -25,7 +26,11 @@ func main() {
 	fig := flag.Int("fig", 11, "figure to print: 4 (naive only) or 11 (all policies)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = one per CPU, 1 = sequential)")
 	obsFlags := obsflag.Add(flag.CommandLine)
+	sampleFlags := sampleflag.Add(flag.CommandLine)
 	flag.Parse()
+	if _, err := sampleFlags.Setup(); err != nil {
+		log.Fatal(err)
+	}
 	obsFlags.Setup()
 	defer obsFlags.Close()
 

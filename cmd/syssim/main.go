@@ -14,6 +14,7 @@ import (
 	"simr/internal/obs"
 	"simr/internal/obsflag"
 	"simr/internal/queuesim"
+	"simr/internal/sampleflag"
 )
 
 func main() {
@@ -24,7 +25,11 @@ func main() {
 	composePost := flag.Bool("composepost", false, "sweep the Figure 3 compose-post path instead of the User path")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = one per CPU, 1 = sequential)")
 	obsFlags := obsflag.Add(flag.CommandLine)
+	sampleFlags := sampleflag.Add(flag.CommandLine)
 	flag.Parse()
+	if _, err := sampleFlags.Setup(); err != nil {
+		log.Fatal(err)
+	}
 	obsFlags.Setup()
 	defer obsFlags.Close()
 

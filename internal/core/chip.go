@@ -9,6 +9,7 @@ import (
 	"simr/internal/isa"
 	"simr/internal/mem"
 	"simr/internal/pipeline"
+	"simr/internal/sample"
 	"simr/internal/simt"
 	"simr/internal/stats"
 	"simr/internal/trace"
@@ -53,6 +54,15 @@ type Options struct {
 	// enclosing sweep. Results are byte-identical at any value; only
 	// wall-clock changes.
 	PrepLookahead int
+	// Sample selects SMARTS-style sampled timing simulation (see
+	// internal/sample): every Sample.Period-th unit is fully timed,
+	// Sample.Warmup units before each timed one run a functional
+	// warmup pass, and the rest are skipped, with aggregate statistics
+	// extrapolated under reported confidence intervals. The zero value
+	// defers to the process-wide default installed by sample.SetDefault
+	// (the drivers' -sample flag); Period 1 times every unit and is
+	// bit-identical to the unsampled path.
+	Sample sample.Config
 }
 
 // DefaultOptions is the paper's baseline RPU configuration. Spin points
@@ -90,6 +100,10 @@ type Result struct {
 	SIMTEff float64
 	// FreqGHz converts cycles to seconds.
 	FreqGHz float64
+	// Sampled carries the sampling estimate when sampled timing
+	// simulation skipped work (Period > 1); nil for full runs, so
+	// unsampled results are unchanged.
+	Sampled *sample.Estimate
 }
 
 // AvgLatencySec returns the mean per-request service latency.
@@ -180,10 +194,12 @@ func runScalar(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts
 
 	sg := alloc.NewStackGroup(0, 1, false)
 	la := opts.lookahead()
+	sp := newRunSampler(opts.sampleConfig(), len(reqs), len(reqs))
 	slots := make([]uopBuilder, la+1)
 	prepped := make([][]pipeline.Uop, la+1)
-	err := pipelined(len(reqs), la,
-		func(slot, i int) error {
+	err := pipelined(sp.unitCount(len(reqs)), la,
+		func(slot, k int) error {
+			i := sp.unit(k)
 			tr, err := scalarTrace(opts.Traces, svc, &reqs[i], 0, sg.StackBase(0), alloc.PolicyCPU, 1)
 			if err != nil {
 				return err
@@ -193,17 +209,23 @@ func runScalar(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts
 			prepped[slot] = ub.scalarUops(tr, 0)
 			return nil
 		},
-		func(slot, i int) {
+		func(slot, k int) {
+			if !sp.timed(sp.unit(k)) {
+				sp.warm(cpu, ms, prepped[slot])
+				return
+			}
 			prev := ms.Stats()
 			ms.ResetTiming()
 			st := cpu.Run(ms, prepped[slot])
 			st.Mem = st.Mem.Delta(&prev)
 			res.Stats.Accumulate(&st)
 			res.Latency.Add(float64(st.Cycles))
+			sp.observe(&st, 1)
 		})
 	if err != nil {
 		return nil, err
 	}
+	sp.finish(res)
 	res.Energy = model.Compute(&res.Stats, cfg.FreqGHz)
 	return res, nil
 }
@@ -233,9 +255,11 @@ func runSMT(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts Op
 		merged  []pipeline.Uop
 		nreq    int
 	}
+	sp := newRunSampler(opts.sampleConfig(), groups, len(reqs))
 	slots := make([]smtSlot, la+1)
-	err := pipelined(groups, la,
-		func(slot, g int) error {
+	err := pipelined(sp.unitCount(groups), la,
+		func(slot, k int) error {
+			g := sp.unit(k)
 			off := g * ways
 			end := off + ways
 			if end > len(reqs) {
@@ -256,20 +280,26 @@ func runSMT(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts Op
 			sl.nreq = len(group)
 			return nil
 		},
-		func(slot, g int) {
+		func(slot, k int) {
 			sl := &slots[slot]
+			if !sp.timed(sp.unit(k)) {
+				sp.warm(cpu, ms, sl.merged)
+				return
+			}
 			prev := ms.Stats()
 			ms.ResetTiming()
 			st := cpu.Run(ms, sl.merged)
 			st.Mem = st.Mem.Delta(&prev)
 			res.Stats.Accumulate(&st)
-			for k := 0; k < sl.nreq; k++ {
+			for j := 0; j < sl.nreq; j++ {
 				res.Latency.Add(float64(st.Cycles))
 			}
+			sp.observe(&st, sl.nreq)
 		})
 	if err != nil {
 		return nil, err
 	}
+	sp.finish(res)
 	res.Energy = model.Compute(&res.Stats, cfg.FreqGHz)
 	return res, nil
 }
@@ -318,10 +348,11 @@ func runBatched(arch Arch, svc *uservices.Service, reqs []uservices.Request, opt
 		batchOps int
 		nreq     int
 	}
+	sp := newRunSampler(opts.sampleConfig(), len(batches), len(reqs))
 	slots := make([]rpuSlot, la+1)
-	err := pipelined(len(batches), la,
-		func(slot, i int) error {
-			b := &batches[i]
+	err := pipelined(sp.unitCount(len(batches)), la,
+		func(slot, k int) error {
+			b := &batches[sp.unit(k)]
 			sl := &slots[slot]
 			sg := alloc.NewStackGroup(0, len(b.Requests), opts.StackInterleave)
 			traces, err := batchTraces(opts.Traces, svc, b.Requests, sg, opts.AllocPolicy, cfgM.L1.Banks)
@@ -347,19 +378,24 @@ func runBatched(arch Arch, svc *uservices.Service, reqs []uservices.Request, opt
 			sl.nreq = len(b.Requests)
 			return nil
 		},
-		func(slot, i int) {
+		func(slot, k int) {
 			sl := &slots[slot]
 			totalScalar += sl.scalar
 			totalBatchOps += sl.batchOps
+			if !sp.timed(sp.unit(k)) {
+				sp.warm(rpu, ms, sl.uops)
+				return
+			}
 			prev := ms.Stats()
 			ms.MCU.Add(&sl.mcu)
 			ms.ResetTiming()
 			st := rpu.Run(ms, sl.uops)
 			st.Mem = st.Mem.Delta(&prev)
 			res.Stats.Accumulate(&st)
-			for k := 0; k < sl.nreq; k++ {
+			for j := 0; j < sl.nreq; j++ {
 				res.Latency.Add(float64(st.Cycles))
 			}
+			sp.observe(&st, sl.nreq)
 		})
 	if err != nil {
 		return nil, err
@@ -367,6 +403,7 @@ func runBatched(arch Arch, svc *uservices.Service, reqs []uservices.Request, opt
 	if totalBatchOps > 0 {
 		res.SIMTEff = float64(totalScalar) / (float64(totalBatchOps) * float64(size))
 	}
+	sp.finish(res)
 	res.Energy = model.Compute(&res.Stats, cfgP.FreqGHz)
 	return res, nil
 }

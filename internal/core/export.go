@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/json"
 	"io"
+
+	"simr/internal/sample"
 )
 
 // ResultJSON is the machine-readable summary of one (architecture,
@@ -29,6 +31,9 @@ type ResultJSON struct {
 		Memory      float64 `json:"memory"`
 		Static      float64 `json:"static"`
 	} `json:"energy_joules"`
+	// Sampled is present only when the run used sampled timing
+	// simulation with Period > 1, so unsampled JSON is unchanged.
+	Sampled *sample.Estimate `json:"sampled,omitempty"`
 }
 
 // Summary converts a Result to its JSON form.
@@ -49,6 +54,7 @@ func (r *Result) Summary() ResultJSON {
 		L1Accesses:     r.Stats.Mem.L1.Accesses,
 		L1MPKI:         r.L1MPKI(),
 		DRAMAccesses:   r.Stats.Mem.DRAMAccesses,
+		Sampled:        r.Sampled,
 	}
 	out.EnergyJoules.FrontendOoO = r.Energy.FrontendOoO
 	out.EnergyJoules.Exec = r.Energy.Exec

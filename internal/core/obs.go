@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"simr/internal/obs"
+	"simr/internal/sample"
 )
 
 // cellsObs instruments one RunCells invocation.
@@ -73,6 +74,64 @@ func (p *cellsObs) finish(start time.Time) {
 		return
 	}
 	p.wallNS.Add(time.Since(start).Nanoseconds())
+}
+
+// sampleObs instruments one sampled run (scope "core.sample").
+type sampleObs struct {
+	runs    *obs.Counter // sampled runs started
+	timed   *obs.Counter // fully timed units
+	warmed  *obs.Counter // functionally warmed units
+	skipped *obs.Counter // units never prepared
+	warmNS  *obs.Counter // time inside the warmup fast path
+	period  *obs.Gauge   // widest sampling period seen
+}
+
+// sampleProbe resolves the sampling instruments, or nil when
+// observability is disabled or the config times every unit; skipped
+// is known at planning time.
+func sampleProbe(cfg sample.Config, skipped int) *sampleObs {
+	if !obs.Enabled() || !cfg.Sampling() {
+		return nil
+	}
+	sc := obs.Default().Scope("core.sample")
+	p := &sampleObs{
+		runs:    sc.Counter("runs"),
+		timed:   sc.Counter("timed_units"),
+		warmed:  sc.Counter("warmed_units"),
+		skipped: sc.Counter("skipped_units"),
+		warmNS:  sc.Counter("warm_ns"),
+		period:  sc.Gauge("period_hwm"),
+	}
+	p.runs.Inc()
+	p.skipped.Add(int64(skipped))
+	p.period.SetMax(int64(cfg.Period))
+	return p
+}
+
+// clock returns time.Now on a live probe and the zero time on a nil
+// one.
+func (p *sampleObs) clock() time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// timedUnit counts one fully timed unit.
+func (p *sampleObs) timedUnit() {
+	if p == nil {
+		return
+	}
+	p.timed.Inc()
+}
+
+// warmUnit counts one functionally warmed unit and its wall clock.
+func (p *sampleObs) warmUnit(start time.Time) {
+	if p == nil {
+		return
+	}
+	p.warmed.Inc()
+	p.warmNS.Add(time.Since(start).Nanoseconds())
 }
 
 // prepRunSeq distinguishes concurrent pipelined runs' trace thread

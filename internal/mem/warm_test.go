@@ -1,0 +1,97 @@
+package mem
+
+import "testing"
+
+// TestWarmMatchesAccessState drives two identical systems through the
+// same pseudo-random access sequence — one via the timed Access path,
+// one via the stats-free Warm path — and requires identical residency
+// at every cache level afterwards. This is the contract sampled
+// simulation relies on: a warmed system presents the tag and
+// replacement state a timed unit would have inherited from a fully
+// simulated predecessor.
+//
+// Accesses are spaced far enough apart that every line fill completes
+// before the next access: an in-flight fill makes Access return from
+// the MSHR without touching L2/L3, a purely timing-dependent effect
+// the clockless warm path deliberately does not model.
+func TestWarmMatchesAccessState(t *testing.T) {
+	cfg := sysConfig()
+	cfg.AtomicsAtL3 = true
+	timed := NewSystem(cfg)
+	warmed := NewSystem(cfg)
+
+	// Footprint well past L3 capacity so every level evicts, with a
+	// reuse bias so LRU ordering matters.
+	var addrs []uint64
+	x := uint64(0x9e3779b97f4a7c15)
+	now := uint64(0)
+	for i := 0; i < 4000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		addr := (x >> 16) % (64 << 10)
+		if i%3 == 0 && len(addrs) > 0 {
+			addr = addrs[int(x>>40)%len(addrs)] // revisit an old line
+		}
+		write := x&0x100 != 0
+		atomic := x&0x7000 == 0
+		timed.Access(addr, write, atomic, now)
+		warmed.Warm(addr, write, atomic)
+		now += 1000
+		addrs = append(addrs, addr)
+	}
+
+	for i, a := range addrs {
+		la := timed.L1.LineAddr(a)
+		if timed.L1.Probe(la) != warmed.L1.Probe(la) {
+			t.Fatalf("addr %#x (seq %d): L1 residency diverged", a, i)
+		}
+		l2a := timed.L2.LineAddr(la)
+		if timed.L2.Probe(l2a) != warmed.L2.Probe(l2a) {
+			t.Fatalf("addr %#x (seq %d): L2 residency diverged", a, i)
+		}
+		l3a := timed.L3.LineAddr(la)
+		if timed.L3.Probe(l3a) != warmed.L3.Probe(l3a) {
+			t.Fatalf("addr %#x (seq %d): L3 residency diverged", a, i)
+		}
+	}
+
+	var zero SysStats
+	if st := warmed.Stats(); st != zero {
+		t.Fatalf("Warm touched statistics: %+v", st)
+	}
+}
+
+// TestTLBWarm pins the warm path's move-to-front hit, bounded fill and
+// LRU replacement, all without counting lookups.
+func TestTLBWarm(t *testing.T) {
+	tlb := NewTLB(TLBConfig{EntriesPerBank: 2, Banks: 1, MissLatCycles: 40})
+	tlb.Warm(0*PageBytes, 0)
+	tlb.Warm(1*PageBytes, 0)
+	tlb.Warm(0*PageBytes, 0) // refresh page 0
+	tlb.Warm(2*PageBytes, 0) // evicts page 1
+	if tlb.Stats.Misses != 0 || tlb.Stats.Accesses != 0 {
+		t.Fatalf("Warm counted stats: %+v", tlb.Stats)
+	}
+	if lat := tlb.Lookup(0*PageBytes, 0); lat != 0 {
+		t.Fatal("page 0 evicted unexpectedly")
+	}
+	if lat := tlb.Lookup(1*PageBytes, 0); lat == 0 {
+		t.Fatal("page 1 should have been evicted")
+	}
+}
+
+// TestCacheWarmWriteAllocate checks dirty-line bookkeeping on the warm
+// path: a warm write allocates dirty, so its eviction reports a
+// writeback exactly like the timed path.
+func TestCacheWarmWriteAllocate(t *testing.T) {
+	c := smallCache()
+	sets := uint64(c.sets)
+	c.Warm(0, true) // dirty fill
+	c.Warm(sets*32, false)
+	_, wb := c.Warm(2*sets*32, false) // evicts dirty line 0
+	if !wb {
+		t.Fatal("warm eviction lost the dirty bit")
+	}
+	if c.Stats.Accesses != 0 || c.Stats.Writebacks != 0 {
+		t.Fatalf("Warm counted stats: %+v", c.Stats)
+	}
+}

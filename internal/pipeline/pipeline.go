@@ -316,10 +316,26 @@ func (c *Core) Run(ms *mem.System, uops []Uop) Stats {
 
 	var fetchMin uint64  // frontend stalled until (redirects)
 	var lastIssue uint64 // in-order issue constraint
-	// Per-thread dispatch history for partitioned ROBs.
+	// Per-thread dispatch history for partitioned ROBs: size the thread
+	// table and every ring once per run from the stream's max thread id,
+	// so the dispatch loop below only indexes (no appends or makes on
+	// the hot path, and zero allocations in the steady state).
 	if cfg.ROBPerThread > 0 {
+		maxThread := 0
+		for i := range uops {
+			if t := uops[i].Thread; t > maxThread {
+				maxThread = t
+			}
+		}
+		for maxThread >= len(c.sc.threads) {
+			c.sc.threads = append(c.sc.threads, robRing{})
+		}
 		for t := range c.sc.threads {
-			c.sc.threads[t].count = 0
+			h := &c.sc.threads[t]
+			if len(h.buf) != cfg.ROBPerThread {
+				h.buf = make([]int, cfg.ROBPerThread)
+			}
+			h.count = 0
 		}
 	}
 
@@ -332,13 +348,7 @@ func (c *Core) Run(ms *mem.System, uops []Uop) Stats {
 		// least d+1, so issue slots behind this frontier are dead.
 		issueS.advance(d)
 		if cfg.ROBPerThread > 0 {
-			for u.Thread >= len(c.sc.threads) {
-				c.sc.threads = append(c.sc.threads, robRing{})
-			}
 			h := &c.sc.threads[u.Thread]
-			if len(h.buf) != cfg.ROBPerThread {
-				h.buf = make([]int, cfg.ROBPerThread)
-			}
 			pos := h.count % cfg.ROBPerThread
 			if h.count >= cfg.ROBPerThread {
 				// The slot about to be overwritten holds the dispatch
@@ -499,4 +509,29 @@ func (s *Stats) Accumulate(o *Stats) {
 	s.LoadCount += o.LoadCount
 	s.LoadLatSum += o.LoadLatSum
 	s.Mem.Add(&o.Mem)
+}
+
+// AddScaled adds o's counters scaled by f (rounded to nearest) into s
+// — the extrapolation step of sampled simulation, which projects the
+// timed subpopulation's aggregate onto the skipped remainder.
+func (s *Stats) AddScaled(o *Stats, f float64) {
+	s.Cycles += scale64(o.Cycles, f)
+	s.Uops += scale64(o.Uops, f)
+	s.ScalarOps += scale64(o.ScalarOps, f)
+	for c := range s.UopsByClass {
+		s.UopsByClass[c] += scale64(o.UopsByClass[c], f)
+		s.LaneOpsByClass[c] += scale64(o.LaneOpsByClass[c], f)
+	}
+	s.Branches += scale64(o.Branches, f)
+	s.Mispredicts += scale64(o.Mispredicts, f)
+	s.FlushedLanes += scale64(o.FlushedLanes, f)
+	s.IssueSlots += scale64(o.IssueSlots, f)
+	s.LoadCount += scale64(o.LoadCount, f)
+	s.LoadLatSum += scale64(o.LoadLatSum, f)
+	s.Mem.AddScaled(&o.Mem, f)
+}
+
+// scale64 rounds v*f to the nearest integer count.
+func scale64(v uint64, f float64) uint64 {
+	return uint64(float64(v)*f + 0.5)
 }

@@ -1,0 +1,37 @@
+package pipeline
+
+import (
+	"simr/internal/isa"
+	"simr/internal/mem"
+)
+
+// Warm runs the functional-warmup pass of sampled simulation over a
+// uop stream: every memory access updates the hierarchy's replacement
+// state through mem.System.Warm and every branch trains the loop and
+// direction predictors with the same outcome Run would derive, but no
+// timing, bandwidth or statistics state is touched. A warmed unit
+// therefore leaves the core and memory system in the state a later
+// timed unit expects from a fully simulated predecessor, at a small
+// fraction of Run's cost and with zero allocations.
+func (c *Core) Warm(ms *mem.System, uops []Uop) {
+	for i := range uops {
+		u := &uops[i]
+		switch u.Class {
+		case isa.Load, isa.Atomic:
+			for _, a := range u.Accesses {
+				ms.Warm(a, false, u.Class == isa.Atomic)
+			}
+		case isa.Store:
+			for _, a := range u.Accesses {
+				ms.Warm(a, true, false)
+			}
+		case isa.Branch:
+			actual := u.Taken
+			if u.Mask != 0 {
+				actual = c.voteOutcome(u)
+			}
+			c.LP.Update(u.PC, actual)
+			c.BP.Update(u.PC, actual)
+		}
+	}
+}

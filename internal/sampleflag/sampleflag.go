@@ -1,0 +1,39 @@
+// Package sampleflag wires the shared -sample flag into the cmd
+// drivers, next to internal/obsflag's -metrics/-trace pair: the flag
+// installs a process-wide sampled-simulation default (see
+// internal/sample) that every cycle-level chip study picks up without
+// per-driver plumbing. The default "off" leaves sampling disabled and
+// study output byte-identical; queue-level studies (syssim) ignore
+// sampling because they never enter the cycle-level timing loop.
+package sampleflag
+
+import (
+	"flag"
+
+	"simr/internal/sample"
+)
+
+// Flags holds the registered flag value for one driver.
+type Flags struct {
+	spec *string
+}
+
+// Add registers -sample on fs (flag.CommandLine for the drivers).
+// Call before flag.Parse.
+func Add(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	f.spec = fs.String("sample", "off",
+		"sampled timing simulation: 'off', PERIOD (warmup 1) or PERIOD:WARMUP — time every PERIOD-th batch, functionally warm WARMUP batches before each, skip the rest (1 = time everything)")
+	return f
+}
+
+// Setup parses the flag and installs the process-wide sampling
+// default. Call once, after flag.Parse and before the studies run.
+func (f *Flags) Setup() (sample.Config, error) {
+	cfg, err := sample.Parse(*f.spec)
+	if err != nil {
+		return sample.Config{}, err
+	}
+	sample.SetDefault(cfg)
+	return cfg, nil
+}

@@ -31,6 +31,7 @@ import (
 
 	"simr/internal/core"
 	"simr/internal/queuesim"
+	"simr/internal/sample"
 	"simr/internal/uservices"
 )
 
@@ -85,6 +86,27 @@ const PrepAuto = core.PrepAuto
 // uses (n >= 0), or restores automatic derivation (n < 0). Results are
 // byte-identical at any value; only wall-clock changes.
 func SetPrepLookahead(n int) { core.SetPrepLookahead(n) }
+
+// Re-exported sampled-simulation types (see internal/sample).
+type (
+	// SampleConfig selects SMARTS-style sampled timing simulation for
+	// Options.Sample: every Period-th batch timed, Warmup batches
+	// functionally warmed before each, the rest skipped.
+	SampleConfig = sample.Config
+	// SampleEstimate is a sampled run's error report, attached to
+	// Result.Sampled when sampling skipped work.
+	SampleEstimate = sample.Estimate
+)
+
+// SetSampling installs the process-wide sampled-simulation default
+// every run without an explicit Options.Sample uses; the zero config
+// restores full (unsampled) simulation. Period 1 engages the sampler
+// but times every unit, leaving results bit-identical to unsampled.
+func SetSampling(c SampleConfig) { sample.SetDefault(c) }
+
+// ParseSampleConfig reads the drivers' -sample syntax: "off", PERIOD,
+// or PERIOD:WARMUP.
+func ParseSampleConfig(s string) (SampleConfig, error) { return sample.Parse(s) }
 
 // NewSuite constructs the 15 microservices with freshly linked
 // programs and shared tables.
