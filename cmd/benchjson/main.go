@@ -96,6 +96,38 @@ type SamplingEntry struct {
 	Metrics    []SamplingMetric `json:"metrics"`
 }
 
+// QueuesimPoint is one (mode, offered load) cell of the tail-at-scale
+// study: completion accounting, the latency tail, and the arena
+// engine's event throughput.
+type QueuesimPoint struct {
+	Mode         string  `json:"mode"`
+	QPS          float64 `json:"qps"`
+	Arrived      int     `json:"arrived"`
+	Completed    int     `json:"completed"`
+	Failed       int     `json:"failed"`
+	TimedOut     int     `json:"timed_out"`
+	Rejected     int     `json:"rejected"`
+	P50          float64 `json:"p50_ms"`
+	P99          float64 `json:"p99_ms"`
+	P999         float64 `json:"p999_ms"`
+	InFlightHWM  int     `json:"inflight_hwm"`
+	Events       uint64  `json:"events"`
+	WallSec      float64 `json:"wall_s"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// QueuesimEntry is one tail-at-scale trajectory point, written to
+// BENCH_queuesim.json: the Figure 22 analog at 100x the paper's load.
+type QueuesimEntry struct {
+	Timestamp  string          `json:"timestamp"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Workers    int             `json:"workers"`
+	Seed       int64           `json:"seed"`
+	Scale      float64         `json:"scale"`
+	Seconds    float64         `json:"seconds"`
+	Points     []QueuesimPoint `json:"points"`
+}
+
 // studyMetrics gates the per-study registry snapshots; set from
 // -studymetrics before the studies run.
 var studyMetrics bool
@@ -168,6 +200,18 @@ func main() {
 			fmt.Printf("appended to %s\n", path)
 		}
 	}
+
+	qe := benchQueuesim(*seconds, *seed, *workers)
+	qe.Timestamp = stamp
+	qe.GoMaxProcs = entry.GoMaxProcs
+	for _, p := range qe.Points {
+		fmt.Printf("%-22s qps %9.0f  done %8d  p99 %8.2fms  p999 %8.2fms  hwm %8d  %5.1f Mev/s\n",
+			"queuesim-"+p.Mode, p.QPS, p.Completed, p.P99, p.P999, p.InFlightHWM, p.EventsPerSec/1e6)
+	}
+	if err := appendJSON("BENCH_queuesim.json", qe); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("appended to BENCH_queuesim.json")
 
 	se := benchSampling(suite, *requests, *seed, *workers, scfg)
 	se.Timestamp = stamp
@@ -386,6 +430,56 @@ func benchSyssim(seconds float64, seed int64, workers int) StudyEntry {
 		return buf.Bytes()
 	}
 	return pair("syssim-12pt", "parallel sweep", func() []byte { return run(1) }, func() []byte { return run(workers) })
+}
+
+// benchQueuesim sweeps the tail-at-scale engine over the 100x
+// Figure 22 load grid (the paper's 70 kQPS ceiling times 100 machines)
+// and records p99/p999 plus events/sec per cell. Three system modes:
+// the CPU baseline, RPU with batch splitting, and the CPU system under
+// an overload policy (timeout + one retry + bounded queues) — the
+// regime where the drain/arrival-window accounting matters most.
+func benchQueuesim(seconds float64, seed int64, workers int) QueuesimEntry {
+	const scale = 100
+	modes := []struct {
+		name       string
+		rpu, split bool
+		policy     queuesim.PolicyConfig
+	}{
+		{"cpu", false, false, queuesim.PolicyConfig{}},
+		{"rpu-split", true, true, queuesim.PolicyConfig{}},
+		{"cpu-policy", false, false, queuesim.PolicyConfig{
+			TimeoutMs: 150, MaxRetries: 1, BackoffMs: 5, QueueCap: 100000}},
+	}
+	loads := []float64{0.25, 0.5, 1.0}
+	entry := QueuesimEntry{Workers: workers, Seed: seed, Scale: scale, Seconds: seconds}
+	points, err := core.RunCells(len(modes)*len(loads), workers, func(i int) (QueuesimPoint, error) {
+		mode := modes[i/len(loads)]
+		cfg := queuesim.TailConfig{Config: queuesim.DefaultConfig(), Scale: scale, Policy: mode.policy}
+		cfg.QPS = 70000 * scale * loads[i%len(loads)]
+		cfg.Seconds = seconds
+		cfg.Warmup = seconds / 4
+		cfg.Drain = 2
+		cfg.Seed = seed
+		cfg.RPU = mode.rpu
+		cfg.Split = mode.split
+		t0 := time.Now()
+		m := queuesim.RunTail(cfg)
+		wall := time.Since(t0).Seconds()
+		return QueuesimPoint{
+			Mode: mode.name, QPS: cfg.QPS,
+			Arrived: m.Arrived, Completed: m.Completed, Failed: m.Failed,
+			TimedOut: m.TimedOut, Rejected: m.Rejected,
+			P50: m.Latency.Percentile(50), P99: m.Latency.Percentile(99),
+			P999: m.Latency.Percentile(99.9),
+			InFlightHWM: m.InFlightHWM, Events: m.Events, WallSec: wall,
+			EventsPerSec: float64(m.Events) / wall,
+		}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	entry.Points = points
+	return entry
 }
 
 // appendJSON appends entry to the JSON array in path, creating the

@@ -12,9 +12,14 @@
 // per-metric errors with a timed-units split consistent with the
 // population.
 //
+// It likewise validates BENCH_queuesim.json trajectories (-queuesim):
+// every tail-at-scale entry must carry well-formed sweep points with
+// positive loads and wall clocks, ordered latency percentiles, and
+// completion accounting that never exceeds arrivals.
+//
 // Usage:
 //
-//	obscheck [-metrics out.json] [-trace out.trace.json] [-sampling BENCH_sampling.json]
+//	obscheck [-metrics out.json] [-trace out.trace.json] [-sampling BENCH_sampling.json] [-queuesim BENCH_queuesim.json]
 package main
 
 import (
@@ -30,9 +35,10 @@ func main() {
 	metrics := flag.String("metrics", "", "metrics snapshot JSON to validate")
 	trace := flag.String("trace", "", "Chrome-trace JSON to validate")
 	sampling := flag.String("sampling", "", "BENCH_sampling.json trajectory to validate")
+	qsim := flag.String("queuesim", "", "BENCH_queuesim.json trajectory to validate")
 	flag.Parse()
-	if *metrics == "" && *trace == "" && *sampling == "" {
-		log.Fatal("obscheck: give -metrics, -trace and/or -sampling")
+	if *metrics == "" && *trace == "" && *sampling == "" && *qsim == "" {
+		log.Fatal("obscheck: give -metrics, -trace, -sampling and/or -queuesim")
 	}
 	if *metrics != "" {
 		if err := checkMetrics(*metrics); err != nil {
@@ -52,6 +58,100 @@ func main() {
 		}
 		fmt.Printf("%s: sampling trajectory ok\n", *sampling)
 	}
+	if *qsim != "" {
+		if err := checkQueuesim(*qsim); err != nil {
+			log.Fatalf("obscheck: %s: %v", *qsim, err)
+		}
+		fmt.Printf("%s: queuesim trajectory ok\n", *qsim)
+	}
+}
+
+// checkQueuesim enforces the BENCH_queuesim.json schema benchjson
+// writes: an array of tail-at-scale sweep entries, each with ordered
+// percentiles and consistent completion accounting per point.
+func checkQueuesim(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var entries []struct {
+		Timestamp  string  `json:"timestamp"`
+		GoMaxProcs int     `json:"gomaxprocs"`
+		Scale      float64 `json:"scale"`
+		Seconds    float64 `json:"seconds"`
+		Points     []struct {
+			Mode         string  `json:"mode"`
+			QPS          float64 `json:"qps"`
+			Arrived      int     `json:"arrived"`
+			Completed    int     `json:"completed"`
+			Failed       int     `json:"failed"`
+			TimedOut     int     `json:"timed_out"`
+			Rejected     int     `json:"rejected"`
+			P50          float64 `json:"p50_ms"`
+			P99          float64 `json:"p99_ms"`
+			P999         float64 `json:"p999_ms"`
+			InFlightHWM  int     `json:"inflight_hwm"`
+			Events       uint64  `json:"events"`
+			WallSec      float64 `json:"wall_s"`
+			EventsPerSec float64 `json:"events_per_sec"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return fmt.Errorf("not a queuesim trajectory: %w", err)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no entries recorded")
+	}
+	for i, e := range entries {
+		if e.Timestamp == "" {
+			return fmt.Errorf("entry %d: missing timestamp", i)
+		}
+		if e.GoMaxProcs < 1 {
+			return fmt.Errorf("entry %d: gomaxprocs %d", i, e.GoMaxProcs)
+		}
+		if e.Scale < 1 {
+			return fmt.Errorf("entry %d: scale %v", i, e.Scale)
+		}
+		if e.Seconds <= 0 {
+			return fmt.Errorf("entry %d: seconds %v", i, e.Seconds)
+		}
+		if len(e.Points) == 0 {
+			return fmt.Errorf("entry %d: no sweep points", i)
+		}
+		for j, p := range e.Points {
+			if p.Mode == "" {
+				return fmt.Errorf("entry %d point %d: empty mode", i, j)
+			}
+			if p.QPS <= 0 {
+				return fmt.Errorf("entry %d point %d: qps %v", i, j, p.QPS)
+			}
+			if p.Arrived < 1 {
+				return fmt.Errorf("entry %d point %d: arrived %d", i, j, p.Arrived)
+			}
+			if p.Completed < 0 || p.Failed < 0 || p.Completed+p.Failed > p.Arrived {
+				return fmt.Errorf("entry %d point %d: completed %d + failed %d vs arrived %d",
+					i, j, p.Completed, p.Failed, p.Arrived)
+			}
+			if p.TimedOut < 0 || p.Rejected < 0 || p.InFlightHWM < 1 {
+				return fmt.Errorf("entry %d point %d: negative policy counters or hwm %d",
+					i, j, p.InFlightHWM)
+			}
+			for _, v := range []float64{p.P50, p.P99, p.P999} {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("entry %d point %d: bad percentile %v", i, j, v)
+				}
+			}
+			if p.Completed > 0 && !(p.P50 <= p.P99 && p.P99 <= p.P999) {
+				return fmt.Errorf("entry %d point %d: percentiles out of order %v/%v/%v",
+					i, j, p.P50, p.P99, p.P999)
+			}
+			if p.Events < 1 || p.WallSec <= 0 || p.EventsPerSec <= 0 {
+				return fmt.Errorf("entry %d point %d: events %d wall %v eps %v",
+					i, j, p.Events, p.WallSec, p.EventsPerSec)
+			}
+		}
+	}
+	return nil
 }
 
 // checkMetrics enforces the snapshot schema: a top-level scopes array,

@@ -24,6 +24,17 @@ func main() {
 	points := flag.Int("points", 12, "number of load points")
 	composePost := flag.Bool("composepost", false, "sweep the Figure 3 compose-post path instead of the User path")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = one per CPU, 1 = sequential)")
+	tail := flag.Bool("tail", false, "sweep the tail-at-scale engine (p50/p99/p999, overload policies) instead of the closure simulator")
+	scale := flag.Float64("scale", 100, "tail mode: station-capacity multiplier (100 = the 100x Figure 22 analog)")
+	arrivals := flag.String("arrivals", "poisson", "tail mode: arrival process (poisson|mmpp|diurnal|closed)")
+	users := flag.Int("users", 0, "tail mode: closed-loop population per offered-load point (0 = derive from qps and think time)")
+	think := flag.Float64("think", 100, "tail mode: closed-loop mean think time (ms)")
+	timeout := flag.Float64("timeout", 0, "tail mode: per-try timeout (ms), 0 = none")
+	retries := flag.Int("retries", 0, "tail mode: retries after a timed-out or rejected try")
+	backoff := flag.Float64("backoff", 1, "tail mode: base retry backoff (ms), doubled per try")
+	hedge := flag.Float64("hedge", 0, "tail mode: hedge delay (ms), 0 = no hedging")
+	qcap := flag.Int("qcap", 0, "tail mode: per-station queue cap, 0 = unbounded")
+	drain := flag.Float64("drain", 2, "tail mode: drain horizon (seconds past the arrival window)")
 	obsFlags := obsflag.Add(flag.CommandLine)
 	sampleFlags := sampleflag.Add(flag.CommandLine)
 	flag.Parse()
@@ -33,6 +44,18 @@ func main() {
 	obsFlags.Setup()
 	defer obsFlags.Close()
 
+	// In tail mode the default sweep ceiling scales with capacity: the
+	// same 70 kQPS grid the 1x sweep uses, times Scale machines.
+	maxSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "max" {
+			maxSet = true
+		}
+	})
+	if *tail && !maxSet {
+		*maxQPS = 70000 * *scale
+	}
+
 	var qps []float64
 	for i := 1; i <= *points; i++ {
 		qps = append(qps, *maxQPS*float64(i)/float64(*points))
@@ -40,6 +63,23 @@ func main() {
 
 	if *composePost {
 		if err := sweepComposePost(*seconds, *seed, qps, *parallel); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *tail {
+		tc := tailSweepConfig{
+			seconds: *seconds, seed: *seed, scale: *scale, drain: *drain,
+			arrivals: queuesim.ArrivalConfig{
+				Process: queuesim.ParseArrivalProcess(*arrivals),
+				Users:   *users, ThinkMs: *think,
+			},
+			policy: queuesim.PolicyConfig{
+				TimeoutMs: *timeout, MaxRetries: *retries, BackoffMs: *backoff,
+				HedgeMs: *hedge, QueueCap: *qcap,
+			},
+		}
+		if err := sweepTail(tc, qps, *parallel); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -98,6 +138,85 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// tailSweepConfig carries the tail-mode knobs into the sweep cells.
+type tailSweepConfig struct {
+	seconds  float64
+	seed     int64
+	scale    float64
+	drain    float64
+	arrivals queuesim.ArrivalConfig
+	policy   queuesim.PolicyConfig
+}
+
+// sweepTail runs the Figure 22 analog on the tail-at-scale engine:
+// same three modes, Scale-times the machines, p50/p99/p999 and the
+// overload-policy counters per load point, plus the total simulated
+// event count. Every column is simulation output, so rows stay
+// byte-identical at any -parallel; wall-clock events/sec (the arena
+// engine's figure of merit) is measured by cmd/benchjson instead,
+// where per-run wall time is expected trajectory data.
+func sweepTail(tc tailSweepConfig, qps []float64, parallel int) error {
+	fmt.Printf("Figure 22 analog at %.0fx scale (tail-at-scale engine, %s arrivals)\n",
+		tc.scale, tc.arrivals.Process)
+	fmt.Println("(completions attributed by arrival inside the measured window; in-flight")
+	fmt.Println(" work drains past the horizon instead of being censored)")
+	fmt.Println()
+	modes := []struct {
+		name       string
+		rpu, split bool
+	}{
+		{"cpu", false, false},
+		{"rpu-nosplit", true, false},
+		{"rpu-split", true, true},
+	}
+	np := len(qps)
+	rows, err := core.RunCells(len(modes)*np, parallel, func(i int) (string, error) {
+		mode := modes[i/np]
+		cfg := queuesim.TailConfig{Config: queuesim.DefaultConfig(),
+			Scale: tc.scale, Arrivals: tc.arrivals, Policy: tc.policy}
+		cfg.QPS = qps[i%np]
+		cfg.Seconds = tc.seconds
+		cfg.Warmup = tc.seconds / 4
+		cfg.Drain = tc.drain
+		cfg.Seed = tc.seed
+		cfg.RPU = mode.rpu
+		cfg.Split = mode.split
+		if cfg.Arrivals.Process == queuesim.ArrClosed && cfg.Arrivals.Users == 0 {
+			// Size the population so its nominal demand matches this
+			// cell's offered-load column: X = N/(Z+R) with R ~ the
+			// no-load response time.
+			cfg.Arrivals.Users = int(cfg.QPS * (cfg.Arrivals.ThinkMs + 5) / 1000)
+		}
+		if obs.Enabled() {
+			cfg.Monitor = &queuesim.Monitor{
+				Reg:   obs.Default(),
+				Sink:  obs.Trace(),
+				Label: queuesim.CellLabel("tail-"+mode.name, cfg.QPS),
+				PID:   100 + i,
+				MinDT: 1.0,
+			}
+		}
+		m := queuesim.RunTail(cfg)
+		return fmt.Sprintf("  %9.0f %10.0f %8.2f %8.2f %8.2f %8d %7d %7d %7d %9d %7.1f\n",
+			m.Offered, m.Throughput(), m.Latency.Percentile(50), m.Latency.Percentile(99),
+			m.Latency.Percentile(99.9), m.TimedOut, m.Retried, m.Hedged, m.Rejected,
+			m.InFlightHWM, float64(m.Events)/1e6), nil
+	})
+	if err != nil {
+		return err
+	}
+	for mi, mode := range modes {
+		fmt.Printf("%s:\n", mode.name)
+		fmt.Printf("  %9s %10s %8s %8s %8s %8s %7s %7s %7s %9s %7s\n",
+			"qps", "done/s", "p50(ms)", "p99(ms)", "p999(ms)", "timeo", "retry", "hedge", "reject", "hwm", "Mev")
+		for p := 0; p < np; p++ {
+			fmt.Print(rows[mi*np+p])
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 // sweepComposePost runs the compose-post fan-out/join scenario on the

@@ -1,0 +1,125 @@
+package queuesim
+
+import (
+	"testing"
+	"time"
+
+	"simr/internal/stats"
+)
+
+// TestSaturatedCompletionCriterion: Saturated must implement its
+// documented completion criterion — under 95 % of offered completed is
+// saturation even when the surviving trickle has a healthy p99. Before
+// the fix only the p99 heuristic ran, so a collapsed run whose few
+// completions were fast reported as keeping up.
+func TestSaturatedCompletionCriterion(t *testing.T) {
+	mk := func(completed int) *Metrics {
+		m := &Metrics{Offered: 1000, Measured: 1, Completed: completed,
+			Latency: stats.NewSample(completed)}
+		for i := 0; i < completed; i++ {
+			m.Latency.Add(5) // fast: p99 well under 10x baseline
+		}
+		return m
+	}
+	if !mk(900).Saturated(2) {
+		t.Fatal("90% completion with fast p99 must report saturated")
+	}
+	if mk(990).Saturated(2) {
+		t.Fatal("99% completion with fast p99 must not report saturated")
+	}
+	if !mk(0).Saturated(2) {
+		t.Fatal("zero completions must report saturated")
+	}
+}
+
+// TestBatcherRearmsPerBatch: the formation timeout belongs to each
+// batch, measured from its first element. Before the fix the timer
+// armed for batch N kept running after a size-triggered flush and
+// flushed batch N+1 early: with size 2 and timeout 10, elements at
+// t=0,1 flush at t=1, and an element at t=2 must launch at t=12 — the
+// stale timer fired it at t=10.
+func TestBatcherRearmsPerBatch(t *testing.T) {
+	sim := NewSim(1)
+	var launches []float64
+	b := &batcher[int]{sim: sim, size: 2, timeout: 10,
+		launch: func([]int) { launches = append(launches, sim.Now()) }}
+	sim.At(0, func() { b.add(1) })
+	sim.At(1, func() { b.add(2) })
+	sim.At(2, func() { b.add(3) })
+	sim.Run(100)
+	want := []float64{1, 12}
+	if len(launches) != len(want) || launches[0] != want[0] || launches[1] != want[1] {
+		t.Fatalf("launch times %v, want %v (stale formation timer fired early)", launches, want)
+	}
+}
+
+// TestCensoringDrain: completions are attributed by arrival inside the
+// measured window and collected through the drain horizon. Before the
+// fix Run stopped dead at the arrival horizon, so any request still in
+// flight — all of them, when the horizon is shorter than the service
+// path — was silently dropped and saturated load points reported zero
+// throughput.
+func TestCensoringDrain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QPS = 1000
+	cfg.Seconds = 0.01 // 10 ms of arrivals...
+	cfg.Warmup = 0
+	cfg.HitRate = 0            // every request takes the storage path
+	cfg.StorageLatency = 50    // ...each needing >= 50 ms to finish
+	cfg.Drain = 1
+	m := Run(cfg)
+	if m.Completed == 0 {
+		t.Fatal("all completions censored at the arrival horizon")
+	}
+	if p := m.Latency.Percentile(50); p < 50 {
+		t.Fatalf("median latency %.1f ms < 50 ms storage floor: wrong requests counted", p)
+	}
+	// And nothing arriving after the horizon may be counted: offered
+	// load stops at Seconds, so completions cannot exceed arrivals.
+	if m.Completed > int(cfg.QPS*cfg.Seconds*2) {
+		t.Fatalf("%d completions from a ~%.0f-arrival window", m.Completed, cfg.QPS*cfg.Seconds)
+	}
+}
+
+// TestRunZeroQPS: a non-positive rate means no arrivals, not a
+// divide-by-zero arrival storm pinned to t=0.
+func TestRunZeroQPS(t *testing.T) {
+	for _, qps := range []float64{0, -5} {
+		done := make(chan *Metrics, 1)
+		go func() {
+			cfg := DefaultConfig()
+			cfg.QPS = qps
+			cfg.Seconds = 1
+			done <- Run(cfg)
+		}()
+		select {
+		case m := <-done:
+			if m.Completed != 0 {
+				t.Fatalf("QPS=%v completed %d requests", qps, m.Completed)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("QPS=%v: Run hung (zero-delay arrival loop)", qps)
+		}
+	}
+	cfg := DefaultTailConfig()
+	cfg.QPS = 0
+	cfg.Seconds = 1
+	if m := RunTail(cfg); m.Arrived != 0 {
+		t.Fatalf("tail engine with QPS=0 arrived %d", m.Arrived)
+	}
+}
+
+// TestUtilExcludesDrain: utilisation is measured over the arrival
+// window only; a long drain after an overloaded run must not dilute
+// it below saturation.
+func TestUtilExcludesDrain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QPS = 40000 // far past the ~17.5 kQPS CPU knee
+	cfg.Seconds = 2
+	cfg.Warmup = 0.5
+	cfg.Drain = 5
+	m := Run(cfg)
+	if m.UserUtil < 0.99 {
+		t.Fatalf("overloaded user tier reports %.3f utilisation; drain leaked into the window", m.UserUtil)
+	}
+}

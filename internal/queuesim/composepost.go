@@ -26,7 +26,11 @@ type ComposePostConfig struct {
 	CacheWrite   float64
 	NetHop       float64
 	Cores        int
-	Seed         int64
+	// Drain bounds how long (seconds past the arrival horizon)
+	// in-flight requests may still complete and be counted; see
+	// Config.Drain.
+	Drain float64
+	Seed  int64
 	// Monitor optionally observes the run; nil records nothing.
 	Monitor *Monitor
 }
@@ -50,6 +54,7 @@ func DefaultComposePost() ComposePostConfig {
 		CacheWrite:   0.05,
 		NetHop:       0.06,
 		Cores:        40,
+		Drain:        2,
 		Seed:         1,
 	}
 }
@@ -86,9 +91,16 @@ func RunComposePost(cfg ComposePostConfig) *Metrics {
 
 	warmupMs := cfg.Warmup * 1000
 	endMs := cfg.Seconds * 1000
+	m.Measured = cfg.Seconds - cfg.Warmup
+	if m.Measured < 0 {
+		m.Measured = 0
+	}
 
+	// Completions count by arrival inside the measured window; the
+	// post-horizon drain un-censors the slowest in-flight requests (see
+	// the matching fix in Run).
 	finish := func(arrive float64) {
-		if arrive >= warmupMs && sim.Now() <= endMs {
+		if arrive >= warmupMs && arrive <= endMs {
 			m.Completed++
 			m.Latency.Add(sim.Now() - arrive)
 		}
@@ -134,9 +146,7 @@ func RunComposePost(cfg ComposePostConfig) *Metrics {
 		})
 	}
 
-	// RPU orchestrator batching.
-	var pending []float64
-	var timer bool
+	// RPU orchestrator batching; per-batch formation timer as in Run.
 	launch := func(b []float64) {
 		m.Batches++
 		m.AvgBatchFill += float64(len(b))
@@ -150,51 +160,36 @@ func RunComposePost(cfg ComposePostConfig) *Metrics {
 			})
 		})
 	}
-	flush := func() {
-		if len(pending) == 0 {
-			return
-		}
-		b := pending
-		pending = nil
-		launch(b)
-	}
+	form := &batcher[float64]{sim: sim, size: cfg.BatchSize, timeout: cfg.BatchTimeout, launch: launch}
 	rpuPath := func(arrive float64) {
 		web.Submit(sim.Jitter(cfg.WebDemand)*lat, func() {
-			pending = append(pending, arrive)
-			if len(pending) >= cfg.BatchSize {
-				flush()
-				return
-			}
-			if !timer {
-				timer = true
-				sim.At(cfg.BatchTimeout, func() {
-					timer = false
-					flush()
-				})
-			}
+			form.add(arrive)
 		})
 	}
 
-	interArrival := 1000 / cfg.QPS
-	var arrive func()
-	arrive = func() {
-		if sim.Now() >= endMs {
-			return
-		}
-		a := sim.Now()
-		if cfg.RPU {
-			rpuPath(a)
-		} else {
-			cpuPath(a)
+	if cfg.QPS > 0 {
+		interArrival := 1000 / cfg.QPS
+		var arrive func()
+		arrive = func() {
+			if sim.Now() >= endMs {
+				return
+			}
+			a := sim.Now()
+			if cfg.RPU {
+				rpuPath(a)
+			} else {
+				cpuPath(a)
+			}
+			sim.At(sim.Exp(interArrival), arrive)
 		}
 		sim.At(sim.Exp(interArrival), arrive)
 	}
-	sim.At(sim.Exp(interArrival), arrive)
-	sim.Run(endMs + 200)
+	sim.Run(endMs)
+	m.UserUtil = orch.Utilization()
+	sim.Run(endMs + drainMs(cfg.Drain))
 
 	if m.Batches > 0 {
 		m.AvgBatchFill /= float64(m.Batches)
 	}
-	m.UserUtil = orch.Utilization()
 	return m
 }

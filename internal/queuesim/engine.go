@@ -1,0 +1,931 @@
+// The tail-at-scale engine: the Figure 22 social-network scenario run
+// as a pooled, allocation-free state machine instead of a closure
+// graph, so data-center populations (10⁶+ in-flight requests) are
+// cheap. Requests and batches live in index-addressed arenas, station
+// queues are packed (index, generation) rings, and every hop is a
+// typed event dispatched through the Sim's non-boxing binary heap —
+// steady-state event dispatch performs zero heap allocations.
+// Cancellation (timeouts, hedge losers) is lazy: a cancelled entry is
+// marked dead and collected by whatever holds it (its pending event, a
+// queue slot, or its batch), and generation counters make stale
+// timer/hedge/retry events no-ops, so nothing is ever searched or
+// removed from the middle of a queue.
+//
+// Ownership discipline: at any instant each live request (and each
+// batch) has exactly one *driver* — the pending event moving it, the
+// station-queue slot holding it, or the batch it joined. Only the
+// driver frees the arena slot, and a slot's generation only advances
+// on free, so auxiliary events (timeout/hedge/retry) can always detect
+// staleness by comparing generations.
+package queuesim
+
+import (
+	"math"
+
+	"simr/internal/stats"
+)
+
+// Typed event kinds (evFunc = 0 in sim.go is the closure kind).
+const (
+	ekArrival    uint8 = iota + 1 // next open-loop arrival; a = arrival generation
+	ekFlip                        // MMPP state flip
+	ekNet                         // request a enters stage b after the wire delay
+	ekSvcDone                     // station b finished serving request a
+	ekBatchNet                    // batch a enters batch stage b
+	ekBatchDone                   // station b finished serving batch a
+	ekBatchTimer                  // formation timeout for batch a armed at generation b
+	ekTimeout                     // per-try timeout for request a at generation b
+	ekRetry                       // backoff expired: re-issue request a at generation b
+	ekHedge                       // hedge point for request a at generation b
+	ekThink                       // closed-loop user a finished thinking
+)
+
+// Stations of the User-path social graph.
+const (
+	siWeb = iota
+	siUser
+	siMcRouter
+	siMemcached
+	siStorage
+	siCount
+)
+
+// Per-request pipeline stages (CPU path; in RPU mode requests leave
+// the per-request pipeline after stWeb and travel in batches).
+const (
+	stWeb int8 = iota
+	stUser1
+	stMcRouter
+	stMemcached
+	stStorage
+	stUser2
+	stDone
+)
+
+// stageStation maps a request stage to the station serving it.
+var stageStation = [...]int32{siWeb, siUser, siMcRouter, siMemcached, siStorage, siUser}
+
+// Batch pipeline stages (RPU mode).
+const (
+	bsUser1 int8 = iota
+	bsMcRouter
+	bsMemcached
+	bsStorage   // miss sub-batch storage round trip
+	bsUser2     // phase-2 service
+	bsUser2Hold // no-split: storage wait held on-core + phase 2
+	bsDone
+)
+
+// batchStation maps a batch stage to the station serving it.
+var batchStation = [...]int32{siUser, siMcRouter, siMemcached, siStorage, siUser, siUser}
+
+// Request flags.
+const (
+	rfHit   uint8 = 1 << iota // memcached hit
+	rfDead                    // cancelled; the driver collects the slot
+	rfHedge                   // this slot is the hedge copy
+)
+
+// ereq is one pooled request (or request copy: a retry or hedge).
+type ereq struct {
+	arrive float64 // first arrival of the logical request (latency origin)
+	enq    float64 // submission time at the current station
+	gen    uint32  // advances on free; stale events compare against it
+	user   int32   // closed-loop user index, -1 for open loop
+	twin   int32   // hedge partner slot, -1 when none
+	stage  int8
+	tries  uint8
+	flags  uint8
+}
+
+// ebatch is one pooled RPU batch.
+type ebatch struct {
+	enq     float64
+	members []int32
+	gen     uint32
+	stage   int8
+	forming bool
+}
+
+// ring is a growable power-of-two circular FIFO of packed
+// (index, generation) words — the station queues.
+type ring struct {
+	buf  []int64
+	head int
+	n    int
+}
+
+func pack(idx int32, gen uint32) int64 { return int64(idx)<<32 | int64(gen) }
+func unpack(v int64) (int32, uint32)   { return int32(v >> 32), uint32(v) }
+
+func (r *ring) push(v int64) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+func (r *ring) pop() int64 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+func (r *ring) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 64
+	}
+	nb := make([]int64, size)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+// estation is a multi-server FIFO station over the arenas. Unlike the
+// closure-based Station it never allocates on the service path.
+type estation struct {
+	q          ring
+	name       string
+	idx        int32
+	servers    int32
+	busy       int32
+	batched    bool // queue holds batch indices, not request indices
+	busyTime   float64
+	lastChange float64
+	probe      *stationProbe
+}
+
+func (st *estation) account(now float64) {
+	st.busyTime += float64(st.busy) * (now - st.lastChange)
+	st.lastChange = now
+}
+
+// TailConfig parameterises one tail-at-scale load point. The embedded
+// Config supplies the Figure 22 scenario (demands, cores, batch
+// formation, hit rate, seed, horizon); Scale multiplies every
+// station's capacity so a Scale=100 run is the 100x-machines analog.
+// Batching is always at the logic tier (the paper's §VI-H placement);
+// BatchAtWebTier is ignored here.
+type TailConfig struct {
+	Config
+	// Scale multiplies station capacities (number of machines); < 1 is
+	// treated as 1.
+	Scale    float64
+	Arrivals ArrivalConfig
+	Policy   PolicyConfig
+}
+
+// DefaultTailConfig returns the 100x Figure 22 analog: one hundred
+// times the paper's machines offered one hundred times the paper's
+// CPU-knee load (15 kQPS → 1.5 MQPS) under open Poisson arrivals.
+func DefaultTailConfig() TailConfig {
+	c := DefaultConfig()
+	c.QPS = 1.5e6
+	c.Seconds = 2
+	c.Warmup = 0.5
+	return TailConfig{Config: c, Scale: 100}
+}
+
+// TailMetrics is the outcome of one tail-at-scale load point.
+type TailMetrics struct {
+	// Offered is the configured open-loop rate, or the realised
+	// arrival rate for closed-loop runs.
+	Offered float64
+	// Arrived counts logical requests arriving inside the measured
+	// window; every one of them resolves as Completed or Failed when
+	// the drain horizon suffices.
+	Arrived   int
+	Completed int
+	// Failed counts requests abandoned after exhausting their retry
+	// budget (timeouts and queue rejections with no tries left).
+	Failed    int
+	TimedOut  int
+	Retried   int
+	Hedged    int
+	HedgeWins int
+	Rejected  int
+	// Latency samples end-to-end latency (ms) of completed requests
+	// that arrived inside the measured window.
+	Latency  *stats.Sample
+	Measured float64 // seconds of measured arrival window
+	UserUtil float64 // bottleneck (User tier) utilisation over the arrival window
+	// InFlightHWM is the high-water mark of requests in the system
+	// (including retry and hedge copies).
+	InFlightHWM int
+	// Events is the number of simulator events dispatched.
+	Events       uint64
+	Batches      int
+	AvgBatchFill float64
+	SplitBatches int
+}
+
+// Throughput returns completed requests per measured second.
+func (m *TailMetrics) Throughput() float64 {
+	if m.Measured <= 0 {
+		return 0
+	}
+	return float64(m.Completed) / m.Measured
+}
+
+// engine wires the arenas, stations, arrival process and policies to
+// the Sim's typed-event loop.
+type engine struct {
+	cfg TailConfig
+	arr ArrivalConfig
+	pol PolicyConfig
+	sim *Sim
+	m   *TailMetrics
+
+	sts     [siCount]estation
+	demands [6]float64
+	latMul  float64
+
+	endMs, warmupMs float64
+
+	reqs  []ereq
+	freeR []int32
+	live  int
+
+	batches    []ebatch
+	freeB      []int32
+	memberPool [][]int32
+	forming    int32 // forming batch index, -1 when none
+
+	// Arrival-process state (see arrivals.go).
+	arrGen     int32
+	mmppBurst  bool
+	rate       float64
+	rateCalm   float64
+	rateBurst  float64
+	rateMax    float64
+	meanCalmMs float64
+
+	inflightTS float64
+}
+
+// RunTail simulates one tail-at-scale load point.
+func RunTail(cfg TailConfig) *TailMetrics {
+	return newTailEngine(cfg).run()
+}
+
+func newTailEngine(cfg TailConfig) *engine {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	sim := NewSim(cfg.Seed)
+	sim.Mon = cfg.Monitor
+	e := &engine{cfg: cfg, pol: cfg.Policy, sim: sim, forming: -1, inflightTS: math.Inf(-1)}
+	e.endMs = cfg.Seconds * 1000
+	e.warmupMs = cfg.Warmup * 1000
+	e.arr = cfg.Arrivals.withDefaults(e.endMs)
+
+	e.latMul = 1
+	capMul := 1.0
+	if cfg.RPU {
+		e.latMul = 1.2
+		capMul = 5
+	}
+	scale := cfg.Scale
+	cores := float64(cfg.Cores)
+	userServers := cores * scale
+	if cfg.RPU {
+		// cores × 5x × 1.2 (occupancy per batch) / batch width, per
+		// machine, times Scale machines.
+		userServers = math.Ceil(cores * 5 * 1.2 / float64(cfg.BatchSize) * scale)
+	}
+	e.initStation(siWeb, "web", int32(cores*capMul*scale), false)
+	e.initStation(siUser, "user", int32(userServers), cfg.RPU)
+	e.initStation(siMcRouter, "mcrouter", int32(cores/2*capMul*scale), cfg.RPU)
+	e.initStation(siMemcached, "memcached", int32(cores/2*capMul*scale), cfg.RPU)
+	e.initStation(siStorage, "storage", Inf, cfg.RPU)
+	e.demands = [6]float64{cfg.WebDemand, cfg.UserPhase1, cfg.McRouterDemand,
+		cfg.MemcachedDemand, cfg.StorageLatency, cfg.UserPhase2}
+
+	est := int(cfg.QPS * cfg.Seconds)
+	if e.arr.Process == ArrClosed {
+		est = e.arr.Users * 8
+	}
+	if est < 1024 {
+		est = 1024
+	}
+	e.m = &TailMetrics{Offered: cfg.QPS, Latency: stats.NewSample(est)}
+	e.m.Measured = cfg.Seconds - cfg.Warmup
+	if e.m.Measured < 0 {
+		e.m.Measured = 0
+	}
+	sim.Handle = e.handle
+	e.startArrivals()
+	return e
+}
+
+func (e *engine) initStation(i int32, name string, servers int32, batched bool) {
+	e.sts[i] = estation{name: name, idx: i, servers: servers, batched: batched}
+	e.sts[i].probe = e.sim.Mon.station(name, int(servers))
+}
+
+func (e *engine) run() *TailMetrics {
+	// Utilisation is measured over the arrival window; the drain that
+	// follows collects in-flight completions without diluting it.
+	e.sim.Run(e.endMs)
+	e.m.UserUtil = e.stationUtil(siUser)
+	e.sim.Run(e.endMs + drainMs(e.cfg.Drain))
+	if e.m.Batches > 0 {
+		e.m.AvgBatchFill /= float64(e.m.Batches)
+	}
+	if e.arr.Process == ArrClosed && e.m.Measured > 0 {
+		e.m.Offered = float64(e.m.Arrived) / e.m.Measured
+	}
+	e.m.Events = e.sim.Events()
+	e.finalizeObs()
+	return e.m
+}
+
+func (e *engine) stationUtil(i int32) float64 {
+	st := &e.sts[i]
+	now := e.sim.now
+	if now == 0 || st.servers == 0 {
+		return 0
+	}
+	settled := st.busyTime + float64(st.busy)*(now-st.lastChange)
+	return settled / (now * float64(st.servers))
+}
+
+func (e *engine) finalizeObs() {
+	sc := e.cfg.Monitor.runScope()
+	if sc == nil {
+		return
+	}
+	sc.Gauge("inflight_hwm").Set(int64(e.m.InFlightHWM))
+	sc.Counter("arrived").Add(int64(e.m.Arrived))
+	sc.Counter("completed").Add(int64(e.m.Completed))
+	sc.Counter("failed").Add(int64(e.m.Failed))
+	sc.Counter("timed_out").Add(int64(e.m.TimedOut))
+	sc.Counter("retried").Add(int64(e.m.Retried))
+	sc.Counter("hedged").Add(int64(e.m.Hedged))
+	sc.Counter("rejected").Add(int64(e.m.Rejected))
+	sc.Counter("events").Add(int64(e.m.Events))
+}
+
+// handle routes typed events; this is the whole steady-state hot path.
+func (e *engine) handle(kind uint8, a, b int32) {
+	switch kind {
+	case ekNet:
+		e.enter(a, int8(b))
+	case ekSvcDone:
+		e.onSvcDone(a, b)
+	case ekArrival:
+		e.onArrival(a)
+	case ekBatchNet:
+		e.onBatchNet(a, b)
+	case ekBatchDone:
+		e.onBatchDone(a, b)
+	case ekBatchTimer:
+		e.onBatchTimer(a, b)
+	case ekTimeout:
+		e.onTimeout(a, b)
+	case ekRetry:
+		e.onRetry(a, b)
+	case ekHedge:
+		e.onHedge(a, b)
+	case ekFlip:
+		e.onFlip()
+	case ekThink:
+		e.onThink(a)
+	}
+}
+
+// --- request arena ---
+
+func (e *engine) alloc() int32 {
+	var idx int32
+	if n := len(e.freeR); n > 0 {
+		idx = e.freeR[n-1]
+		e.freeR = e.freeR[:n-1]
+	} else {
+		e.reqs = append(e.reqs, ereq{})
+		idx = int32(len(e.reqs) - 1)
+	}
+	e.live++
+	if e.live > e.m.InFlightHWM {
+		e.m.InFlightHWM = e.live
+	}
+	e.sampleInflight()
+	return idx
+}
+
+func (e *engine) free(idx int32) {
+	r := &e.reqs[idx]
+	r.gen++
+	r.flags = 0
+	r.twin = -1
+	e.freeR = append(e.freeR, idx)
+	e.live--
+}
+
+// sampleInflight emits a thinned trace counter of the live population
+// when a Monitor with a trace sink is attached.
+func (e *engine) sampleInflight() {
+	m := e.cfg.Monitor
+	if m == nil || m.Sink == nil {
+		return
+	}
+	if e.sim.now-e.inflightTS < m.MinDT {
+		return
+	}
+	e.inflightTS = e.sim.now
+	m.Sink.CounterPair("inflight", m.PID, e.sim.now*1000,
+		"live", float64(e.live), "events_pending", float64(len(e.sim.pq)))
+}
+
+// --- request lifecycle ---
+
+// issue creates and launches a new logical request (user >= 0 ties it
+// to a closed-loop client).
+func (e *engine) issue(user int32) {
+	idx := e.alloc()
+	r := &e.reqs[idx]
+	now := e.sim.now
+	r.arrive = now
+	r.user = user
+	r.twin = -1
+	r.tries = 0
+	r.flags = 0
+	if e.sim.Rng.Float64() < e.cfg.HitRate {
+		r.flags = rfHit
+	}
+	if now >= e.warmupMs && now <= e.endMs {
+		e.m.Arrived++
+	}
+	e.launchTry(idx)
+	if e.pol.HedgeMs > 0 {
+		e.sim.AtEvent(e.pol.HedgeMs, ekHedge, idx, int32(e.reqs[idx].gen))
+	}
+}
+
+// launchTry arms the per-try timeout and enters the request at the web
+// tier (stage 0 is entered directly, as in Run).
+func (e *engine) launchTry(idx int32) {
+	if e.pol.TimeoutMs > 0 {
+		e.sim.AtEvent(e.pol.TimeoutMs, ekTimeout, idx, int32(e.reqs[idx].gen))
+	}
+	e.enter(idx, stWeb)
+}
+
+// enter lands a request on a stage (or completes it at stDone).
+func (e *engine) enter(idx int32, stage int8) {
+	r := &e.reqs[idx]
+	if r.flags&rfDead != 0 {
+		e.free(idx)
+		return
+	}
+	if stage == stDone {
+		e.complete(idx)
+		return
+	}
+	r.stage = stage
+	r.enq = e.sim.now
+	e.submitReq(&e.sts[stageStation[stage]], idx)
+}
+
+func (e *engine) submitReq(st *estation, idx int32) {
+	if st.busy < st.servers {
+		st.account(e.sim.now)
+		st.busy++
+		e.serveReq(st, idx)
+	} else if e.pol.QueueCap > 0 && st.q.n >= e.pol.QueueCap {
+		e.m.Rejected++
+		e.abandonTry(idx, true)
+	} else {
+		st.q.push(pack(idx, e.reqs[idx].gen))
+	}
+	st.probe.sample(e.sim.now, st.q.n, int(st.busy))
+}
+
+func (e *engine) serveReq(st *estation, idx int32) {
+	r := &e.reqs[idx]
+	d := e.demands[r.stage]
+	if r.stage != stStorage {
+		d = e.sim.Jitter(d) * e.latMul
+	}
+	e.sim.AtEvent(d, ekSvcDone, idx, st.idx)
+}
+
+func (e *engine) onSvcDone(idx, stIdx int32) {
+	st := &e.sts[stIdx]
+	now := e.sim.now
+	st.account(now)
+	st.busy--
+	r := &e.reqs[idx]
+	st.probe.observe(now, now-r.enq)
+	st.probe.sample(now, st.q.n, int(st.busy))
+	e.dispatchNext(st)
+	if r.flags&rfDead != 0 {
+		e.free(idx)
+		return
+	}
+	e.advance(idx)
+}
+
+// dispatchNext pulls queued work onto freed servers, collecting dead
+// and stale entries on the way.
+func (e *engine) dispatchNext(st *estation) {
+	for st.busy < st.servers && st.q.n > 0 {
+		idx, gen := unpack(st.q.pop())
+		if st.batched {
+			b := &e.batches[idx]
+			if b.gen != gen {
+				continue
+			}
+			st.account(e.sim.now)
+			st.busy++
+			e.serveBatch(st, idx)
+			continue
+		}
+		r := &e.reqs[idx]
+		if r.gen != gen {
+			continue // slot was freed (and possibly reused): stale entry
+		}
+		if r.flags&rfDead != 0 {
+			e.free(idx) // the queue slot was its driver
+			continue
+		}
+		st.account(e.sim.now)
+		st.busy++
+		e.serveReq(st, idx)
+	}
+}
+
+// advance moves a request past its just-completed stage, mirroring the
+// closure graph in Run (hops match sim.At(NetHop, …) placements).
+func (e *engine) advance(idx int32) {
+	r := &e.reqs[idx]
+	switch r.stage {
+	case stWeb:
+		if e.cfg.RPU {
+			e.joinBatch(idx)
+		} else {
+			e.hop(idx, stUser1)
+		}
+	case stUser1:
+		e.hop(idx, stMcRouter)
+	case stMcRouter:
+		e.enter(idx, stMemcached)
+	case stMemcached:
+		if r.flags&rfHit != 0 {
+			e.hop(idx, stUser2)
+		} else {
+			e.enter(idx, stStorage)
+		}
+	case stStorage:
+		e.hop(idx, stUser2)
+	case stUser2:
+		e.hop(idx, stDone)
+	}
+}
+
+func (e *engine) hop(idx int32, stage int8) {
+	e.sim.AtEvent(e.cfg.NetHop, ekNet, idx, int32(stage))
+}
+
+// complete resolves a logical request: cancels its hedge twin, records
+// the latency by arrival window, wakes its closed-loop user and frees
+// the slot.
+func (e *engine) complete(idx int32) {
+	r := &e.reqs[idx]
+	if r.twin >= 0 {
+		t := &e.reqs[r.twin]
+		if t.twin == idx {
+			t.twin = -1
+			t.flags |= rfDead // the loser's driver collects it
+			if r.flags&rfHedge != 0 {
+				e.m.HedgeWins++
+			}
+		}
+		r.twin = -1
+	}
+	if r.arrive >= e.warmupMs && r.arrive <= e.endMs {
+		e.m.Completed++
+		e.m.Latency.Add(e.sim.now - r.arrive)
+	}
+	if r.user >= 0 {
+		e.think(r.user)
+	}
+	e.free(idx)
+}
+
+// --- policies ---
+
+func (e *engine) onTimeout(idx, gen int32) {
+	r := &e.reqs[idx]
+	if r.gen != uint32(gen) || r.flags&rfDead != 0 {
+		return
+	}
+	e.m.TimedOut++
+	e.abandonTry(idx, false)
+}
+
+// abandonTry gives up on the current try: retry with backoff if budget
+// remains, otherwise fail the logical request. When the caller is the
+// slot's driver (inline queue rejection) the slot is freed here; a
+// timeout is not the driver and leaves the dead slot for its queue
+// entry / in-service event to collect.
+func (e *engine) abandonTry(idx int32, isDriver bool) {
+	e.reqs[idx].flags |= rfDead
+	r := &e.reqs[idx]
+	if int(r.tries) < e.pol.MaxRetries {
+		e.m.Retried++
+		n := e.alloc()
+		r = &e.reqs[idx] // alloc may have grown the arena
+		c := &e.reqs[n]
+		c.arrive = r.arrive
+		c.user = r.user
+		c.tries = r.tries + 1
+		c.flags = r.flags & (rfHit | rfHedge)
+		c.twin = -1
+		// A hedge pair survives a retry: relink so the first completion
+		// still cancels the other copy.
+		if r.twin >= 0 {
+			t := &e.reqs[r.twin]
+			if t.twin == idx {
+				t.twin = n
+				c.twin = r.twin
+			}
+			r.twin = -1
+		}
+		e.sim.AtEvent(e.backoff(c.tries), ekRetry, n, int32(c.gen))
+	} else {
+		e.failTry(idx)
+	}
+	if isDriver {
+		e.free(idx)
+	}
+}
+
+// failTry resolves a logical request as failed — unless a live hedge
+// twin remains, in which case the survivor carries it alone.
+func (e *engine) failTry(idx int32) {
+	r := &e.reqs[idx]
+	survivor := false
+	if r.twin >= 0 {
+		t := &e.reqs[r.twin]
+		if t.twin == idx && t.flags&rfDead == 0 {
+			survivor = true
+			t.twin = -1
+		}
+		r.twin = -1
+	}
+	if !survivor {
+		if r.arrive >= e.warmupMs && r.arrive <= e.endMs {
+			e.m.Failed++
+		}
+		if r.user >= 0 {
+			e.think(r.user)
+		}
+	}
+}
+
+func (e *engine) onRetry(idx, gen int32) {
+	r := &e.reqs[idx]
+	if r.gen != uint32(gen) {
+		return
+	}
+	if r.flags&rfDead != 0 {
+		e.free(idx) // cancelled while backing off (its twin resolved first)
+		return
+	}
+	e.launchTry(idx)
+}
+
+func (e *engine) onHedge(idx, gen int32) {
+	r := &e.reqs[idx]
+	if r.gen != uint32(gen) || r.flags&rfDead != 0 || r.twin >= 0 {
+		return
+	}
+	e.m.Hedged++
+	n := e.alloc()
+	r = &e.reqs[idx]
+	c := &e.reqs[n]
+	c.arrive = r.arrive
+	c.user = r.user
+	c.tries = 0
+	c.flags = (r.flags & rfHit) | rfHedge
+	c.twin = idx
+	r.twin = n
+	e.launchTry(n)
+}
+
+// --- batches (RPU mode) ---
+
+func (e *engine) allocBatch() int32 {
+	var idx int32
+	if n := len(e.freeB); n > 0 {
+		idx = e.freeB[n-1]
+		e.freeB = e.freeB[:n-1]
+	} else {
+		e.batches = append(e.batches, ebatch{})
+		idx = int32(len(e.batches) - 1)
+	}
+	b := &e.batches[idx]
+	if n := len(e.memberPool); n > 0 {
+		b.members = e.memberPool[n-1][:0]
+		e.memberPool = e.memberPool[:n-1]
+	} else {
+		b.members = make([]int32, 0, e.cfg.BatchSize)
+	}
+	return idx
+}
+
+func (e *engine) freeBatch(idx int32) {
+	b := &e.batches[idx]
+	b.gen++
+	b.forming = false
+	e.memberPool = append(e.memberPool, b.members)
+	b.members = nil
+	e.freeB = append(e.freeB, idx)
+}
+
+// joinBatch adds a web-acknowledged request to the forming batch,
+// arming the formation timer when the batch is born — per batch, from
+// its first request, exactly the semantics the legacy batcher's
+// generation counter enforces.
+func (e *engine) joinBatch(idx int32) {
+	if e.forming < 0 {
+		bi := e.allocBatch()
+		e.forming = bi
+		b := &e.batches[bi]
+		b.forming = true
+		e.sim.AtEvent(e.cfg.BatchTimeout, ekBatchTimer, bi, int32(b.gen))
+	}
+	b := &e.batches[e.forming]
+	b.members = append(b.members, idx)
+	if len(b.members) >= e.cfg.BatchSize {
+		bi := e.forming
+		e.forming = -1
+		e.launchBatch(bi)
+	}
+}
+
+func (e *engine) onBatchTimer(bi, gen int32) {
+	b := &e.batches[bi]
+	if b.gen != uint32(gen) || !b.forming {
+		return
+	}
+	e.forming = -1
+	e.launchBatch(bi)
+}
+
+func (e *engine) launchBatch(bi int32) {
+	b := &e.batches[bi]
+	b.forming = false
+	e.m.Batches++
+	e.m.AvgBatchFill += float64(len(b.members))
+	e.bhop(bi, bsUser1)
+}
+
+func (e *engine) bhop(bi int32, stage int8) {
+	e.sim.AtEvent(e.cfg.NetHop, ekBatchNet, bi, int32(stage))
+}
+
+func (e *engine) onBatchNet(bi, stage int32) {
+	if int8(stage) == bsDone {
+		e.completeBatch(bi)
+		return
+	}
+	b := &e.batches[bi]
+	b.stage = int8(stage)
+	b.enq = e.sim.now
+	e.submitBatch(&e.sts[batchStation[stage]], bi)
+}
+
+func (e *engine) submitBatch(st *estation, bi int32) {
+	if st.busy < st.servers {
+		st.account(e.sim.now)
+		st.busy++
+		e.serveBatch(st, bi)
+	} else {
+		st.q.push(pack(bi, e.batches[bi].gen))
+	}
+	st.probe.sample(e.sim.now, st.q.n, int(st.busy))
+}
+
+func (e *engine) serveBatch(st *estation, bi int32) {
+	b := &e.batches[bi]
+	var d float64
+	switch b.stage {
+	case bsUser1:
+		d = e.sim.Jitter(e.cfg.UserPhase1) * e.latMul
+	case bsMcRouter:
+		d = e.sim.Jitter(e.cfg.McRouterDemand) * e.latMul
+	case bsMemcached:
+		d = e.sim.Jitter(e.cfg.MemcachedDemand) * e.latMul
+	case bsStorage:
+		d = e.cfg.StorageLatency
+	case bsUser2:
+		d = e.sim.Jitter(e.cfg.UserPhase2) * e.latMul
+	case bsUser2Hold:
+		// Reconvergence wait held on-core: the batch occupies its
+		// server for the storage round trip plus phase 2.
+		d = e.cfg.StorageLatency + e.sim.Jitter(e.cfg.UserPhase2)*e.latMul
+	}
+	e.sim.AtEvent(d, ekBatchDone, bi, st.idx)
+}
+
+func (e *engine) onBatchDone(bi, stIdx int32) {
+	st := &e.sts[stIdx]
+	now := e.sim.now
+	st.account(now)
+	st.busy--
+	b := &e.batches[bi]
+	st.probe.observe(now, now-b.enq)
+	st.probe.sample(now, st.q.n, int(st.busy))
+	e.dispatchNext(st)
+	switch b.stage {
+	case bsUser1:
+		e.bhop(bi, bsMcRouter)
+	case bsMcRouter:
+		// Straight into memcached, no hop (matches Run).
+		b.stage = bsMemcached
+		b.enq = now
+		e.submitBatch(&e.sts[siMemcached], bi)
+	case bsMemcached:
+		e.diverge(bi)
+	case bsStorage:
+		e.bhop(bi, bsUser2)
+	case bsUser2, bsUser2Hold:
+		e.bhop(bi, bsDone)
+	}
+}
+
+// diverge handles the memcached hit/miss divergence: collect cancelled
+// members, then split (§III-B5), hold the whole batch for the storage
+// round trip, or proceed straight to phase 2.
+func (e *engine) diverge(bi int32) {
+	b := &e.batches[bi]
+	live := b.members[:0]
+	misses := 0
+	for _, idx := range b.members {
+		r := &e.reqs[idx]
+		if r.flags&rfDead != 0 {
+			e.free(idx)
+			continue
+		}
+		live = append(live, idx)
+		if r.flags&rfHit == 0 {
+			misses++
+		}
+	}
+	b.members = live
+	if len(live) == 0 {
+		e.freeBatch(bi)
+		return
+	}
+	if misses == 0 {
+		e.bhop(bi, bsUser2)
+		return
+	}
+	if !e.cfg.Split {
+		e.bhop(bi, bsUser2Hold)
+		return
+	}
+	e.m.SplitBatches++
+	if misses == len(live) {
+		// All-miss batch: it is its own miss sub-batch.
+		b.stage = bsStorage
+		b.enq = e.sim.now
+		e.submitBatch(&e.sts[siStorage], bi)
+		return
+	}
+	mi := e.allocBatch()
+	b = &e.batches[bi] // allocBatch may grow the arena
+	mb := &e.batches[mi]
+	hits := b.members[:0]
+	for _, idx := range b.members {
+		if e.reqs[idx].flags&rfHit == 0 {
+			mb.members = append(mb.members, idx)
+		} else {
+			hits = append(hits, idx)
+		}
+	}
+	b.members = hits
+	e.bhop(bi, bsUser2)
+	mb.stage = bsStorage
+	mb.enq = e.sim.now
+	e.submitBatch(&e.sts[siStorage], mi)
+}
+
+func (e *engine) completeBatch(bi int32) {
+	b := &e.batches[bi]
+	for _, idx := range b.members {
+		if e.reqs[idx].flags&rfDead != 0 {
+			e.free(idx)
+			continue
+		}
+		e.complete(idx)
+	}
+	e.freeBatch(bi)
+}

@@ -1,0 +1,315 @@
+package queuesim
+
+import (
+	"sync"
+	"testing"
+)
+
+// tailBase is a small, fast scenario for engine tests: the Figure 22
+// graph at 1x scale, 2 simulated seconds, generous drain.
+func tailBase() TailConfig {
+	c := DefaultConfig()
+	c.QPS = 10000
+	c.Seconds = 2
+	c.Warmup = 0.5
+	c.Drain = 5
+	c.Seed = 7
+	return TailConfig{Config: c, Scale: 1}
+}
+
+func checkConservation(t *testing.T, m *TailMetrics, label string) {
+	t.Helper()
+	if m.Arrived == 0 {
+		t.Fatalf("%s: no arrivals", label)
+	}
+	if got := m.Completed + m.Failed; got != m.Arrived {
+		t.Fatalf("%s: conservation violated: arrived %d != completed %d + failed %d",
+			label, m.Arrived, m.Completed, m.Failed)
+	}
+	if m.Latency.Len() != m.Completed {
+		t.Fatalf("%s: latency samples %d != completed %d", label, m.Latency.Len(), m.Completed)
+	}
+}
+
+// TestTailConservation: with a sufficient drain every measured arrival
+// resolves as exactly one completion or failure, across modes and with
+// every policy knob engaged at once.
+func TestTailConservation(t *testing.T) {
+	for _, tc := range []struct {
+		label string
+		mut   func(*TailConfig)
+	}{
+		{"cpu", func(c *TailConfig) {}},
+		{"rpu-nosplit", func(c *TailConfig) { c.RPU = true }},
+		{"rpu-split", func(c *TailConfig) { c.RPU = true; c.Split = true }},
+		{"cpu-policies", func(c *TailConfig) {
+			c.QPS = 20000 // overloaded: exercise timeout/retry/hedge/reject
+			c.Policy = PolicyConfig{TimeoutMs: 20, MaxRetries: 2, BackoffMs: 1,
+				HedgeMs: 10, QueueCap: 500}
+		}},
+		{"rpu-policies", func(c *TailConfig) {
+			c.RPU = true
+			c.Split = true
+			c.QPS = 90000
+			c.Policy = PolicyConfig{TimeoutMs: 20, MaxRetries: 1, BackoffMs: 0.5,
+				HedgeMs: 8, QueueCap: 2000}
+		}},
+	} {
+		cfg := tailBase()
+		tc.mut(&cfg)
+		m := RunTail(cfg)
+		checkConservation(t, m, tc.label)
+		if m.Events == 0 || m.InFlightHWM == 0 {
+			t.Fatalf("%s: missing engine accounting: %+v", tc.label, m)
+		}
+	}
+}
+
+// TestTailMatchesLegacy: at an underloaded point the arena engine and
+// the closure-based Run agree on throughput and tail (different random
+// streams, so bands, not equality).
+func TestTailMatchesLegacy(t *testing.T) {
+	for _, mode := range []struct {
+		label      string
+		rpu, split bool
+	}{{"cpu", false, false}, {"rpu-split", true, true}} {
+		cfg := tailBase()
+		cfg.RPU, cfg.Split = mode.rpu, mode.split
+		legacy := Run(cfg.Config)
+		m := RunTail(cfg)
+		lt, tt := legacy.Throughput(legacy.Measured), m.Throughput()
+		if tt < 0.9*lt || tt > 1.1*lt {
+			t.Fatalf("%s: throughput diverged: legacy %.0f/s engine %.0f/s", mode.label, lt, tt)
+		}
+		lp, tp := legacy.Latency.Percentile(99), m.Latency.Percentile(99)
+		if tp < 0.7*lp || tp > 1.4*lp {
+			t.Fatalf("%s: p99 diverged: legacy %.2f ms engine %.2f ms", mode.label, lp, tp)
+		}
+	}
+}
+
+// TestMMPPMeanRate: the burst/calm rates are solved so the long-run
+// arrival rate stays QPS. A single run's rate estimate carries the
+// burst-cycle variance (~7 % σ at these dwell times), so average over
+// seeds.
+func TestMMPPMeanRate(t *testing.T) {
+	var rate float64
+	const seeds = 6
+	for seed := int64(1); seed <= seeds; seed++ {
+		cfg := tailBase()
+		cfg.Seconds = 10
+		cfg.Warmup = 0
+		cfg.Seed = seed
+		cfg.Arrivals = ArrivalConfig{Process: ArrMMPP, BurstMul: 5, BurstFrac: 0.2, MeanBurstMs: 50}
+		m := RunTail(cfg)
+		rate += float64(m.Arrived) / m.Measured / seeds
+		checkConservation(t, m, "mmpp")
+	}
+	cfgQPS := tailBase().QPS
+	if rate < 0.92*cfgQPS || rate > 1.08*cfgQPS {
+		t.Fatalf("mmpp mean rate %.0f/s, want ~%.0f/s", rate, cfgQPS)
+	}
+}
+
+// TestDiurnalMeanRate: over a whole period the sinusoid integrates
+// away and the mean rate is QPS.
+func TestDiurnalMeanRate(t *testing.T) {
+	cfg := tailBase()
+	cfg.Seconds = 10
+	cfg.Warmup = 0
+	cfg.Arrivals = ArrivalConfig{Process: ArrDiurnal, DiurnalAmp: 0.6}
+	m := RunTail(cfg)
+	rate := float64(m.Arrived) / m.Measured
+	if rate < 0.9*cfg.QPS || rate > 1.1*cfg.QPS {
+		t.Fatalf("diurnal mean rate %.0f/s, want ~%.0f/s", rate, cfg.QPS)
+	}
+}
+
+// TestClosedLoopLittle: N users with think time Z and response time R
+// deliver X = N/(Z+R) — Little's law on the full loop.
+func TestClosedLoopLittle(t *testing.T) {
+	cfg := tailBase()
+	cfg.Seconds = 10
+	cfg.Warmup = 2
+	cfg.Arrivals = ArrivalConfig{Process: ArrClosed, Users: 500, ThinkMs: 50}
+	m := RunTail(cfg)
+	checkConservation(t, m, "closed")
+	x := m.Throughput()
+	want := 500.0 * 1000 / (50 + m.Latency.Mean())
+	if x < 0.9*want || x > 1.1*want {
+		t.Fatalf("closed-loop throughput %.0f/s, Little's law predicts %.0f/s (R=%.2f ms)",
+			x, want, m.Latency.Mean())
+	}
+	if m.Offered < 0.9*x || m.Offered > 1.1*x {
+		t.Fatalf("closed-loop Offered %.0f should track realised rate %.0f", m.Offered, x)
+	}
+}
+
+// TestTimeoutRetryMechanics: an overloaded system with timeouts breeds
+// retries; conservation must survive the churn and the timeout knob
+// must bound the worst completed latency seen through a single try.
+func TestTimeoutRetryMechanics(t *testing.T) {
+	cfg := tailBase()
+	cfg.QPS = 25000
+	cfg.Policy = PolicyConfig{TimeoutMs: 30, MaxRetries: 3, BackoffMs: 2}
+	m := RunTail(cfg)
+	if m.TimedOut == 0 {
+		t.Fatal("overloaded run with TimeoutMs=30 produced no timeouts")
+	}
+	if m.Retried == 0 {
+		t.Fatal("timeouts with retry budget produced no retries")
+	}
+	if m.Retried > m.TimedOut+m.Rejected {
+		t.Fatalf("retries %d exceed abandoned tries %d", m.Retried, m.TimedOut+m.Rejected)
+	}
+	checkConservation(t, m, "timeout-retry")
+}
+
+// TestHedgeMechanics: hedging produces hedges and some hedge wins, and
+// never double-counts a logical request. All stations are FIFO, so a
+// hedge copy can only overtake its primary through service-time jitter
+// races while both are in service — which needs a hedge delay inside
+// the jitter spread and headroom for the doubled load.
+func TestHedgeMechanics(t *testing.T) {
+	cfg := tailBase()
+	cfg.QPS = 8000
+	cfg.Policy = PolicyConfig{HedgeMs: 0.5}
+	m := RunTail(cfg)
+	if m.Hedged == 0 {
+		t.Fatal("no hedges issued")
+	}
+	if m.HedgeWins == 0 {
+		t.Fatal("no hedge ever won; HedgeMs inside the jitter spread should see wins")
+	}
+	if m.HedgeWins > m.Hedged {
+		t.Fatalf("hedge wins %d exceed hedges %d", m.HedgeWins, m.Hedged)
+	}
+	checkConservation(t, m, "hedge")
+}
+
+// TestQueueCapRejects: bounded queues shed load explicitly instead of
+// letting latency run away.
+func TestQueueCapRejects(t *testing.T) {
+	cfg := tailBase()
+	cfg.QPS = 30000
+	cfg.Policy = PolicyConfig{QueueCap: 100}
+	m := RunTail(cfg)
+	if m.Rejected == 0 {
+		t.Fatal("overloaded run with QueueCap=100 rejected nothing")
+	}
+	checkConservation(t, m, "queue-cap")
+	capped := tailBase()
+	capped.QPS = 30000
+	uncapped := RunTail(capped)
+	if m.Latency.Percentile(99) >= uncapped.Latency.Percentile(99) {
+		t.Fatalf("queue cap did not shorten the tail: capped p99 %.1f >= uncapped %.1f",
+			m.Latency.Percentile(99), uncapped.Latency.Percentile(99))
+	}
+}
+
+// TestTailDeterminism: identical seeds give identical runs, and
+// concurrent engines (as a sweep driver would run them) do not
+// interfere — run under -race in CI.
+func TestTailDeterminism(t *testing.T) {
+	mk := func() TailConfig {
+		cfg := tailBase()
+		cfg.QPS = 18000
+		cfg.Arrivals = ArrivalConfig{Process: ArrMMPP}
+		cfg.Policy = PolicyConfig{TimeoutMs: 50, MaxRetries: 1, BackoffMs: 1, HedgeMs: 20}
+		return cfg
+	}
+	seq := make([]*TailMetrics, 4)
+	for i := range seq {
+		cfg := mk()
+		cfg.Seed = int64(i + 1)
+		seq[i] = RunTail(cfg)
+	}
+	par := make([]*TailMetrics, 4)
+	var wg sync.WaitGroup
+	for i := range par {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := mk()
+			cfg.Seed = int64(i + 1)
+			par[i] = RunTail(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := range seq {
+		a, b := seq[i], par[i]
+		if a.Completed != b.Completed || a.Failed != b.Failed || a.Events != b.Events ||
+			a.InFlightHWM != b.InFlightHWM || a.TimedOut != b.TimedOut ||
+			a.Hedged != b.Hedged ||
+			a.Latency.Percentile(99.9) != b.Latency.Percentile(99.9) {
+			t.Fatalf("seed %d: parallel run diverged from sequential:\nseq %+v\npar %+v", i+1, a, b)
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocs: once warmed, advancing the simulation
+// allocates nothing — the acceptance bar for the arena engine.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	cfg := tailBase()
+	cfg.Seconds = 2
+	cfg.Warmup = 0
+	e := newTailEngine(cfg)
+	now := 200.0
+	e.sim.Run(now) // grow arenas, heap, rings, stats to steady state
+	n := testing.AllocsPerRun(100, func() {
+		now += 5
+		e.sim.Run(now)
+	})
+	if n != 0 {
+		t.Fatalf("steady-state event loop allocates %v allocs/op, want 0", n)
+	}
+}
+
+// TestTailScaleMillionInFlight: the 100x Figure 22 analog overdriven
+// past capacity must carry a standing population of at least a million
+// in-flight requests and still produce a full tail profile.
+func TestTailScaleMillionInFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tail-at-scale stress skipped in -short")
+	}
+	cfg := DefaultTailConfig()
+	cfg.QPS = 4e6 // ~2.3x the scaled CPU knee: backlog grows ~2.2M/s
+	cfg.Seconds = 1
+	cfg.Warmup = 0.1
+	cfg.Drain = 0.5
+	cfg.Seed = 7
+	m := RunTail(cfg)
+	if m.InFlightHWM < 1_000_000 {
+		t.Fatalf("in-flight high-water mark %d, want >= 1e6", m.InFlightHWM)
+	}
+	if m.Completed == 0 {
+		t.Fatal("no completions at scale")
+	}
+	p50, p99, p999 := m.Latency.Percentile(50), m.Latency.Percentile(99), m.Latency.Percentile(99.9)
+	if !(p50 <= p99 && p99 <= p999) {
+		t.Fatalf("tail profile out of order: p50 %.2f p99 %.2f p999 %.2f", p50, p99, p999)
+	}
+}
+
+// BenchmarkTailEngine reports steady-state event throughput of the
+// arena engine (the figure the BENCH_queuesim study tracks).
+func BenchmarkTailEngine(b *testing.B) {
+	for _, mode := range []struct {
+		label      string
+		rpu, split bool
+	}{{"cpu", false, false}, {"rpu-split", true, true}} {
+		b.Run(mode.label, func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				cfg := tailBase()
+				cfg.Seconds = 1
+				cfg.Warmup = 0.25
+				cfg.Drain = 1
+				cfg.RPU, cfg.Split = mode.rpu, mode.split
+				cfg.Seed = int64(i + 1)
+				events += RunTail(cfg).Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}

@@ -50,10 +50,12 @@ type Monitor struct {
 
 // stationProbe is one station's monitoring state. All methods are
 // no-ops on a nil receiver, keeping the unmonitored path free of
-// allocations and observable work.
+// allocations and observable work. The probe holds no reference to the
+// station — callers pass the instantaneous state in — so the legacy
+// Station and the tail engine's arena-based stations share it.
 type stationProbe struct {
 	mon     *Monitor
-	st      *Station
+	name    string
 	tid     int
 	sojourn *obs.Histogram
 	qHWM    *obs.Gauge
@@ -64,9 +66,9 @@ type stationProbe struct {
 }
 
 // station registers a new station with the monitor, returning nil on a
-// nil monitor. Called from NewStation, which runs before the event
-// loop starts, so it needs no locking.
-func (m *Monitor) station(st *Station) *stationProbe {
+// nil monitor. Called from NewStation / engine setup, which run before
+// the event loop starts, so it needs no locking.
+func (m *Monitor) station(name string, servers int) *stationProbe {
 	if m == nil {
 		return nil
 	}
@@ -78,58 +80,60 @@ func (m *Monitor) station(st *Station) *stationProbe {
 		}
 		m.Sink.Meta("process_name", m.PID, label)
 	}
-	p := &stationProbe{mon: m, st: st, tid: m.nstations, lastTS: math.Inf(-1), lastQ: -1, lastB: -1}
+	p := &stationProbe{mon: m, name: name, tid: m.nstations, lastTS: math.Inf(-1), lastQ: -1, lastB: -1}
 	m.nstations++
 	if m.Reg != nil {
-		scope := "queuesim."
-		if m.Label != "" {
-			scope += m.Label + "."
-		}
-		scope += st.Name
-		sc := m.Reg.Scope(scope)
+		sc := m.Reg.Scope(ScopeName(m.Label, name))
 		p.sojourn = sc.Histogram("sojourn_ms", SojournBounds)
 		p.qHWM = sc.Gauge("queue_hwm")
 		p.busyHWM = sc.Gauge("busy_hwm")
-		sc.Gauge("servers").Set(int64(st.Servers))
+		sc.Gauge("servers").Set(int64(servers))
 	}
 	return p
 }
 
+// runScope returns the registry scope for run-level series (in-flight
+// population, policy counters) under "queuesim.<Label>.run", or nil
+// when unmonitored.
+func (m *Monitor) runScope() *obs.Scope {
+	if m == nil || m.Reg == nil {
+		return nil
+	}
+	return m.Reg.Scope(ScopeName(m.Label, "run"))
+}
+
 // sample records the station's instantaneous queue length and busy
-// server count: high-water marks always, and a trace counter event
-// when the state changed and at least MinDT simulated ms passed since
-// the previous sample.
-func (p *stationProbe) sample() {
+// server count at simulated time now: high-water marks always, and a
+// trace counter event when the state changed and at least MinDT
+// simulated ms passed since the previous sample.
+func (p *stationProbe) sample(now float64, q, b int) {
 	if p == nil {
 		return
 	}
-	q, b := len(p.st.queue), p.st.busy
 	p.qHWM.SetMax(int64(q))
 	p.busyHWM.SetMax(int64(b))
 	if p.mon.Sink == nil || (q == p.lastQ && b == p.lastB) {
 		return
 	}
-	now := p.st.sim.now
 	if now-p.lastTS < p.mon.MinDT {
 		return
 	}
 	// Simulated milliseconds → trace microseconds: 1 ms of simulated
 	// time renders as 1 ms in the viewer.
-	p.mon.Sink.CounterPair(p.st.Name, p.mon.PID, now*1000, "busy", float64(b), "queue", float64(q))
+	p.mon.Sink.CounterPair(p.name, p.mon.PID, now*1000, "busy", float64(b), "queue", float64(q))
 	p.lastTS, p.lastQ, p.lastB = now, q, b
 }
 
-// observe records one completed hop's sojourn time (ms), and emits it
-// as a span on the station's trace thread so individual hops are
-// visible in the timeline.
-func (p *stationProbe) observe(sojournMs float64) {
+// observe records one hop's sojourn time (ms) completing at simulated
+// time now, and emits it as a span on the station's trace thread so
+// individual hops are visible in the timeline.
+func (p *stationProbe) observe(now, sojournMs float64) {
 	if p == nil {
 		return
 	}
 	p.sojourn.Observe(sojournMs)
 	if p.mon.Spans && p.mon.Sink != nil {
-		end := p.st.sim.now
-		p.mon.Sink.Complete(p.st.Name, "hop", p.mon.PID, p.tid, (end-sojournMs)*1000, sojournMs*1000)
+		p.mon.Sink.Complete(p.name, "hop", p.mon.PID, p.tid, (now-sojournMs)*1000, sojournMs*1000)
 	}
 }
 

@@ -155,8 +155,8 @@ func TestMonitorDisabledAllocs(t *testing.T) {
 		t.Fatal("station acquired a probe without a monitor")
 	}
 	n := testing.AllocsPerRun(200, func() {
-		st.probe.sample()
-		st.probe.observe(1.5)
+		st.probe.sample(s.Now(), len(st.queue), st.busy)
+		st.probe.observe(s.Now(), 1.5)
 	})
 	if n != 0 {
 		t.Fatalf("disabled probe hooks allocate %v allocs/op, want 0", n)

@@ -1,0 +1,44 @@
+// Overload-management policies for the tail-at-scale engine: per-try
+// timeouts, bounded retries with exponential backoff, request hedging
+// and per-station queue caps. These are what turn p99/p999 under
+// overload from an artifact of unbounded queueing into a first-class,
+// policy-shaped result — the tail-at-scale playbook (and CloudNativeSim
+// / the OpenDC microservice simulator) treat them as part of the
+// system, not of the workload.
+package queuesim
+
+// PolicyConfig bounds how long a request may occupy the system and how
+// aggressively it is re-issued. The zero value applies no policy:
+// requests queue without bound and are never abandoned.
+type PolicyConfig struct {
+	// TimeoutMs cancels a try that has not completed TimeoutMs after it
+	// was issued (measured per try, not per logical request). 0 = no
+	// timeout.
+	TimeoutMs float64
+	// MaxRetries is how many additional tries follow a timed-out or
+	// rejected one. Only meaningful with TimeoutMs or QueueCap set.
+	MaxRetries int
+	// BackoffMs is the base retry backoff, doubled per successive try
+	// and jittered ±20 %. 0 with retries enabled means immediate
+	// re-issue.
+	BackoffMs float64
+	// HedgeMs issues a duplicate of a still-unfinished request HedgeMs
+	// after its first try started; the first copy to complete wins and
+	// the loser is cancelled. 0 = no hedging.
+	HedgeMs float64
+	// QueueCap rejects submissions to a station whose queue already
+	// holds QueueCap entries (the rejection is retried under the same
+	// backoff policy, or fails the request). 0 = unbounded queues.
+	QueueCap int
+}
+
+// backoff returns the jittered exponential backoff before try number
+// `tries` (1-based over retries: the first retry waits ~BackoffMs, the
+// second ~2x, …).
+func (e *engine) backoff(tries uint8) float64 {
+	if e.pol.BackoffMs <= 0 {
+		return 0
+	}
+	d := e.pol.BackoffMs * float64(int(1)<<(tries-1))
+	return e.sim.Jitter(d)
+}

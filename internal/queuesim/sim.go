@@ -1,50 +1,50 @@
 // Package queuesim is a discrete-event microservice-interaction
 // simulator in the spirit of uqsim, used for the paper's system-level
-// evaluation (Figure 22): Poisson request arrivals flow through the
+// evaluation (Figure 22): request arrivals flow through the
 // social-network path WebServer → User → McRouter → Memcached →
 // Storage, with multi-server FIFO stations, network hops, RPU batch
 // formation, reconvergence waiting and the §III-B5 batch-splitting
-// technique.
+// technique. Beyond the hand-coded Figure 22 graphs, the tail-at-scale
+// engine (engine.go) runs the same scenario at data-center populations
+// (10⁶+ in-flight requests) with burst/diurnal/closed-loop arrivals and
+// timeout/retry/hedge policies.
 package queuesim
 
 import (
-	"container/heap"
 	"math"
 	"math/rand"
 )
 
-// event is one scheduled callback.
+// event is one scheduled occurrence, stored by value in a flat binary
+// min-heap ordered by (at, seq) so same-time events dispatch in FIFO
+// order. The loop is non-boxing: nothing passes through interface{} on
+// push or pop. kind evFunc carries a closure — the path the hand-coded
+// graphs use; any other kind is routed to the Sim's Handle hook with
+// the two int32 payload words, which is the allocation-free path the
+// tail engine rides (a typed event costs zero heap allocations to
+// schedule or dispatch).
 type event struct {
-	at  float64
-	seq uint64
-	fn  func()
+	at   float64
+	seq  uint64
+	fn   func()
+	a, b int32
+	kind uint8
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+// evFunc is the closure-callback event kind; engine.go defines the
+// typed kinds starting at 1.
+const evFunc uint8 = 0
 
 // Sim is the event loop.
 type Sim struct {
 	now float64
-	pq  eventHeap
+	pq  []event
 	seq uint64
+	nev uint64
 	Rng *rand.Rand
+	// Handle dispatches typed events scheduled with AtEvent. The tail
+	// engine installs itself here; nil is fine while only At is used.
+	Handle func(kind uint8, a, b int32)
 	// Mon optionally observes the run (station time series, per-hop
 	// latency histograms, trace events on the simulated clock). Set it
 	// before creating stations; nil (the default) records nothing and
@@ -60,13 +60,74 @@ func NewSim(seed int64) *Sim {
 // Now returns the current simulation time (milliseconds).
 func (s *Sim) Now() float64 { return s.now }
 
+// Events returns the number of events dispatched so far.
+func (s *Sim) Events() uint64 { return s.nev }
+
+// Pending returns the number of scheduled events not yet dispatched.
+func (s *Sim) Pending() int { return len(s.pq) }
+
+func (s *Sim) less(i, j int) bool {
+	if s.pq[i].at != s.pq[j].at {
+		return s.pq[i].at < s.pq[j].at
+	}
+	return s.pq[i].seq < s.pq[j].seq
+}
+
+func (s *Sim) push(e event) {
+	s.pq = append(s.pq, e)
+	i := len(s.pq) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s.pq[i], s.pq[p] = s.pq[p], s.pq[i]
+		i = p
+	}
+}
+
+func (s *Sim) pop() event {
+	e := s.pq[0]
+	n := len(s.pq) - 1
+	s.pq[0] = s.pq[n]
+	s.pq[n] = event{} // drop the closure reference
+	s.pq = s.pq[:n]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && s.less(l, m) {
+			m = l
+		}
+		if r < n && s.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s.pq[i], s.pq[m] = s.pq[m], s.pq[i]
+		i = m
+	}
+	return e
+}
+
 // At schedules fn to run after delay.
 func (s *Sim) At(delay float64, fn func()) {
 	if delay < 0 {
 		delay = 0
 	}
 	s.seq++
-	heap.Push(&s.pq, event{at: s.now + delay, seq: s.seq, fn: fn})
+	s.push(event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// AtEvent schedules a typed event for the Handle hook after delay. The
+// two payload words identify the target (an arena index plus a stage,
+// station or generation, by kind) without boxing or closures.
+func (s *Sim) AtEvent(delay float64, kind uint8, a, b int32) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	s.push(event{at: s.now + delay, seq: s.seq, kind: kind, a: a, b: b})
 }
 
 // Run processes events until the queue empties or the next event lies
@@ -75,14 +136,15 @@ func (s *Sim) At(delay float64, fn func()) {
 // same denominator regardless of how the run ended. A future event
 // that stops the run stays queued for a later Run call.
 func (s *Sim) Run(until float64) {
-	for s.pq.Len() > 0 {
-		e := heap.Pop(&s.pq).(event)
-		if e.at > until {
-			heap.Push(&s.pq, e)
-			break
-		}
+	for len(s.pq) > 0 && s.pq[0].at <= until {
+		e := s.pop()
 		s.now = e.at
-		e.fn()
+		s.nev++
+		if e.kind == evFunc {
+			e.fn()
+		} else {
+			s.Handle(e.kind, e.a, e.b)
+		}
 	}
 	if s.now < until {
 		s.now = until
@@ -119,7 +181,7 @@ type work struct {
 // NewStation creates a station with c servers.
 func NewStation(sim *Sim, name string, c int) *Station {
 	st := &Station{sim: sim, Name: name, Servers: c}
-	st.probe = sim.Mon.station(st)
+	st.probe = sim.Mon.station(name, c)
 	return st
 }
 
@@ -128,7 +190,7 @@ func NewStation(sim *Sim, name string, c int) *Station {
 func (st *Station) Submit(demand float64, done func()) {
 	st.queue = append(st.queue, work{demand: demand, enq: st.sim.now, done: done})
 	st.dispatch()
-	st.probe.sample()
+	st.probe.sample(st.sim.now, len(st.queue), st.busy)
 }
 
 func (st *Station) dispatch() {
@@ -143,8 +205,8 @@ func (st *Station) dispatch() {
 		st.sim.At(w.demand, func() {
 			st.account()
 			st.busy--
-			st.probe.observe(st.sim.now - w.enq)
-			st.probe.sample()
+			st.probe.observe(st.sim.now, st.sim.now-w.enq)
+			st.probe.sample(st.sim.now, len(st.queue), st.busy)
 			if w.done != nil {
 				w.done()
 			}
@@ -182,3 +244,43 @@ func (s *Sim) Jitter(mean float64) float64 {
 
 // Inf is a server count that never queues.
 const Inf = math.MaxInt32
+
+// batcher accumulates values into fixed-size batches with a formation
+// timeout measured from each batch's *first* element. A size-triggered
+// flush invalidates the pending timer (via the generation check), so a
+// stale timer armed for an already-launched batch can never flush its
+// successor early — the bug the generation counter exists to prevent.
+type batcher[T any] struct {
+	sim     *Sim
+	size    int
+	timeout float64
+	launch  func([]T)
+	pending []T
+	gen     int
+}
+
+func (b *batcher[T]) add(v T) {
+	b.pending = append(b.pending, v)
+	if len(b.pending) >= b.size {
+		b.flush()
+		return
+	}
+	if len(b.pending) == 1 {
+		gen := b.gen
+		b.sim.At(b.timeout, func() {
+			if gen == b.gen {
+				b.flush()
+			}
+		})
+	}
+}
+
+func (b *batcher[T]) flush() {
+	b.gen++
+	if len(b.pending) == 0 {
+		return
+	}
+	p := b.pending
+	b.pending = nil
+	b.launch(p)
+}

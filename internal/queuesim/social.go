@@ -41,6 +41,12 @@ type Config struct {
 	NetHop          float64
 	// Cores per machine (3 machines: web, user, cache tier).
 	Cores int
+	// Drain is the horizon (seconds past the end of arrivals) over
+	// which in-flight requests may still complete and be counted.
+	// Completions are attributed by *arrival* time inside the measured
+	// window, so the drain never adds load — it only un-censors the
+	// slowest requests. Zero keeps a minimal 0.2 s drain.
+	Drain float64
 	// Seed for the random streams.
 	Seed int64
 	// Monitor optionally observes the run (station time series, hop
@@ -70,6 +76,7 @@ func DefaultConfig() Config {
 		StorageLatency:  1.0,
 		NetHop:          0.06,
 		Cores:           40,
+		Drain:           2,
 		Seed:            1,
 	}
 }
@@ -78,6 +85,10 @@ func DefaultConfig() Config {
 type Metrics struct {
 	Offered   float64
 	Completed int
+	// Measured is the length of the measured arrival window in seconds
+	// (Seconds - Warmup); the denominator for offered-vs-completed
+	// comparisons.
+	Measured float64
 	// Latency samples end-to-end request latency in milliseconds.
 	Latency *stats.Sample
 	// UserUtil is the bottleneck (User tier) utilisation.
@@ -99,9 +110,16 @@ func (m *Metrics) Throughput(measured float64) float64 {
 
 // Saturated reports whether the system failed to keep up with offered
 // load (tail blow-up heuristic: p99 over 10x the unloaded latency, or
-// completion under 95 % of offered).
+// completion under 95 % of offered). The completion criterion catches
+// the collapsed regime a fast surviving trickle would otherwise hide:
+// a run can report a healthy p99 over the handful of requests that got
+// through while dropping the vast majority on the floor.
 func (m *Metrics) Saturated(baselineP99 float64) bool {
 	if m.Latency.Len() == 0 {
+		return true
+	}
+	if m.Offered > 0 && m.Measured > 0 &&
+		float64(m.Completed) < 0.95*m.Offered*m.Measured {
 		return true
 	}
 	return m.Latency.Percentile(99) > 10*baselineP99
@@ -144,9 +162,18 @@ func Run(cfg Config) *Metrics {
 
 	warmupMs := cfg.Warmup * 1000
 	endMs := cfg.Seconds * 1000
+	m.Measured = cfg.Seconds - cfg.Warmup
+	if m.Measured < 0 {
+		m.Measured = 0
+	}
 
+	// Completions are attributed by arrival inside the measured window,
+	// regardless of when they finish: requests still in flight at the
+	// arrival horizon drain to completion (bounded by cfg.Drain) instead
+	// of being censored, which near saturation used to bias the tail low
+	// by silently excluding exactly the slowest requests.
 	finish := func(r *request) {
-		if r.arrive >= warmupMs && sim.Now() <= endMs {
+		if r.arrive >= warmupMs && r.arrive <= endMs {
 			m.Completed++
 			m.Latency.Add(sim.Now() - r.arrive)
 		}
@@ -182,19 +209,7 @@ func Run(cfg Config) *Metrics {
 	}
 
 	// --- RPU batched path ---
-	var pending []*request
-	var batchTimer bool
 	var launch func(batch []*request)
-
-	flush := func() {
-		if len(pending) == 0 {
-			return
-		}
-		b := pending
-		pending = nil
-		launch(b)
-	}
-
 	launch = func(b []*request) {
 		m.Batches++
 		m.AvgBatchFill += float64(len(b))
@@ -280,6 +295,11 @@ func Run(cfg Config) *Metrics {
 		})
 	}
 
+	// The formation timeout is per batch, armed when the batch's first
+	// request joins; a size-triggered flush invalidates the pending
+	// timer so it can never flush the *next* batch early.
+	form := &batcher[*request]{sim: sim, size: cfg.BatchSize, timeout: cfg.BatchTimeout, launch: launch}
+
 	var rpuEnqueue func(r *request)
 	rpuEnqueue = func(r *request) {
 		if !cfg.BatchAtWebTier && !r.webDone {
@@ -291,44 +311,48 @@ func Run(cfg Config) *Metrics {
 			})
 			return
 		}
-		pending = append(pending, r)
-		if len(pending) >= cfg.BatchSize {
-			flush()
-			return
-		}
-		if !batchTimer {
-			batchTimer = true
-			sim.At(cfg.BatchTimeout, func() {
-				batchTimer = false
-				flush()
-			})
-		}
+		form.add(r)
 	}
 
-	// Arrival process.
-	interArrival := 1000 / cfg.QPS // ms
-	var arrive func()
-	arrive = func() {
-		if sim.Now() >= endMs {
-			return
-		}
-		r := &request{arrive: sim.Now(), hit: sim.Rng.Float64() < cfg.HitRate}
-		if cfg.RPU {
-			rpuEnqueue(r)
-		} else {
-			cpuPath(r)
+	// Arrival process. A non-positive QPS offers no load: without the
+	// guard the inter-arrival time degenerates (Inf for 0, negative —
+	// an infinite zero-delay arrival loop — below it).
+	if cfg.QPS > 0 {
+		interArrival := 1000 / cfg.QPS // ms
+		var arrive func()
+		arrive = func() {
+			if sim.Now() >= endMs {
+				return
+			}
+			r := &request{arrive: sim.Now(), hit: sim.Rng.Float64() < cfg.HitRate}
+			if cfg.RPU {
+				rpuEnqueue(r)
+			} else {
+				cpuPath(r)
+			}
+			sim.At(sim.Exp(interArrival), arrive)
 		}
 		sim.At(sim.Exp(interArrival), arrive)
 	}
-	sim.At(sim.Exp(interArrival), arrive)
 
-	// Allow in-flight requests to drain past the arrival horizon.
-	sim.Run(endMs + 200)
+	// Utilisation is reported over the arrival window only; the drain
+	// that follows collects stragglers without diluting the denominator.
+	sim.Run(endMs)
+	m.UserUtil = user.Utilization()
+	sim.Run(endMs + drainMs(cfg.Drain))
 	if m.Batches > 0 {
 		m.AvgBatchFill /= float64(m.Batches)
 	}
-	m.UserUtil = user.Utilization()
 	return m
+}
+
+// drainMs converts the configured drain horizon (seconds) to
+// milliseconds, defaulting to a minimal 0.2 s when unset.
+func drainMs(drain float64) float64 {
+	if drain > 0 {
+		return drain * 1000
+	}
+	return 200
 }
 
 // Sweep runs a QPS sweep and returns metrics per load point.

@@ -50,8 +50,14 @@ type Sample struct {
 	sorted bool
 }
 
-// NewSample returns a Sample with capacity hint n.
-func NewSample(n int) *Sample { return &Sample{vals: make([]float64, 0, n)} }
+// NewSample returns a Sample with capacity hint n. Non-positive hints
+// (a zero- or negative-rate caller) allocate an empty sample.
+func NewSample(n int) *Sample {
+	if n < 0 {
+		n = 0
+	}
+	return &Sample{vals: make([]float64, 0, n)}
+}
 
 // Add records one observation.
 func (s *Sample) Add(v float64) {
