@@ -10,6 +10,7 @@
 //	-table 4  simulated configurations (Table IV)
 //	-table 5  per-component area and peak power (Table V)
 //	-sensitivity   §V-A1 ablations
+//	-timing   RPU timing-knob sweep (lanes x vote x atomics placement)
 //
 // With no selector, all figures are printed.
 package main
@@ -22,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"simr/internal/cacheflag"
 	"simr/internal/core"
 	"simr/internal/energy"
 	"simr/internal/obsflag"
@@ -39,6 +41,7 @@ func main() {
 	ispc := flag.Bool("ispc", false, "run the §VI-A SPMD-on-SIMD (ISPC) comparison")
 	multiproc := flag.Bool("multiprocess", false, "run the §VI-B multi-process divergence study")
 	multibatch := flag.Bool("multibatch", false, "run the §III-A multi-batch interleaving study")
+	timing := flag.Bool("timing", false, "run the RPU timing-knob sweep (lanes x vote x atomics placement)")
 	sensServices := flag.String("services", "", "comma-separated service subset for -sensitivity")
 	gpu := flag.Bool("gpu", true, "include the GPU design point")
 	jsonOut := flag.Bool("json", false, "emit the chip study as JSON instead of tables")
@@ -46,10 +49,12 @@ func main() {
 	lookahead := flag.Int("lookahead", core.PrepAuto, "intra-run prep pipeline depth in batches (-1 = auto from spare CPUs, 0 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	cacheFlags := cacheflag.Add(flag.CommandLine)
 	obsFlags := obsflag.Add(flag.CommandLine)
 	sampleFlags := sampleflag.Add(flag.CommandLine)
 	flag.Parse()
 	core.SetPrepLookahead(*lookahead)
+	cacheFlags.Setup()
 	if _, err := sampleFlags.Setup(); err != nil {
 		log.Fatal(err)
 	}
@@ -110,6 +115,16 @@ func main() {
 				row.Res.SequentialCycles, row.Res.InterleavedCycles, row.Res.Speedup())
 		}
 		fmt.Println("(the paper defers multi-batch scheduling to future work; this bounds its benefit)")
+		return
+	}
+	if *timing {
+		fmt.Println("RPU timing-knob sweep: lanes {8,32} x majority vote x atomics placement")
+		fmt.Println("(timing knobs share prepared batch streams; see EXPERIMENTS.md, batch-stream caching)")
+		rows, err := core.TimingSweepParallel(suite, *requests, *seed, *parallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		core.WriteTimingSweep(os.Stdout, rows)
 		return
 	}
 	if *sensitivity {

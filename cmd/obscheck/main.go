@@ -17,9 +17,14 @@
 // positive loads and wall clocks, ordered latency percentiles, and
 // completion accounting that never exceeds arrivals.
 //
+// And BENCH_batchcache.json trajectories (-batchcache): every entry
+// must be self-describing, carry positive wall clocks for all four
+// cache configurations, internally consistent speedup ratios, and
+// byte-identical unsampled outputs.
+//
 // Usage:
 //
-//	obscheck [-metrics out.json] [-trace out.trace.json] [-sampling BENCH_sampling.json] [-queuesim BENCH_queuesim.json]
+//	obscheck [-metrics out.json] [-trace out.trace.json] [-sampling BENCH_sampling.json] [-queuesim BENCH_queuesim.json] [-batchcache BENCH_batchcache.json]
 package main
 
 import (
@@ -36,9 +41,10 @@ func main() {
 	trace := flag.String("trace", "", "Chrome-trace JSON to validate")
 	sampling := flag.String("sampling", "", "BENCH_sampling.json trajectory to validate")
 	qsim := flag.String("queuesim", "", "BENCH_queuesim.json trajectory to validate")
+	bcache := flag.String("batchcache", "", "BENCH_batchcache.json trajectory to validate")
 	flag.Parse()
-	if *metrics == "" && *trace == "" && *sampling == "" && *qsim == "" {
-		log.Fatal("obscheck: give -metrics, -trace, -sampling and/or -queuesim")
+	if *metrics == "" && *trace == "" && *sampling == "" && *qsim == "" && *bcache == "" {
+		log.Fatal("obscheck: give -metrics, -trace, -sampling, -queuesim and/or -batchcache")
 	}
 	if *metrics != "" {
 		if err := checkMetrics(*metrics); err != nil {
@@ -64,6 +70,82 @@ func main() {
 		}
 		fmt.Printf("%s: queuesim trajectory ok\n", *qsim)
 	}
+	if *bcache != "" {
+		if err := checkBatchCache(*bcache); err != nil {
+			log.Fatalf("obscheck: %s: %v", *bcache, err)
+		}
+		fmt.Printf("%s: batchcache trajectory ok\n", *bcache)
+	}
+}
+
+// checkBatchCache enforces the BENCH_batchcache.json schema benchjson
+// writes: an array of cache-configuration timing entries whose speedup
+// ratios match their wall clocks and whose unsampled runs rendered
+// byte-identically.
+func checkBatchCache(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var entries []struct {
+		Timestamp        string  `json:"timestamp"`
+		GoMaxProcs       int     `json:"gomaxprocs"`
+		Workers          int     `json:"workers"`
+		Requests         int     `json:"requests"`
+		Sample           string  `json:"sample"`
+		NoCacheSec       float64 `json:"nocache_s"`
+		ScalarCacheSec   float64 `json:"scalarcache_s"`
+		BatchCacheSec    float64 `json:"batchcache_s"`
+		SampledSec       float64 `json:"batchcache_sampled_s"`
+		SpeedupVsScalar  float64 `json:"speedup_vs_scalarcache"`
+		SpeedupVsNoCache float64 `json:"speedup_vs_nocache"`
+		SpeedupSampled   float64 `json:"speedup_sampled_vs_nocache"`
+		Identical        bool    `json:"outputs_identical"`
+	}
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return fmt.Errorf("not a batchcache trajectory: %w", err)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no entries recorded")
+	}
+	for i, e := range entries {
+		if e.Timestamp == "" {
+			return fmt.Errorf("entry %d: missing timestamp", i)
+		}
+		if e.GoMaxProcs < 1 {
+			return fmt.Errorf("entry %d: gomaxprocs %d", i, e.GoMaxProcs)
+		}
+		if e.Requests < 1 {
+			return fmt.Errorf("entry %d: requests %d", i, e.Requests)
+		}
+		if e.Sample == "" || e.Sample == "off" {
+			return fmt.Errorf("entry %d: sampled run config %q", i, e.Sample)
+		}
+		for _, v := range []float64{e.NoCacheSec, e.ScalarCacheSec, e.BatchCacheSec, e.SampledSec} {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("entry %d: non-positive wall clock %v", i, v)
+			}
+		}
+		checks := []struct {
+			name      string
+			num, den  float64
+			announced float64
+		}{
+			{"speedup_vs_scalarcache", e.ScalarCacheSec, e.BatchCacheSec, e.SpeedupVsScalar},
+			{"speedup_vs_nocache", e.NoCacheSec, e.BatchCacheSec, e.SpeedupVsNoCache},
+			{"speedup_sampled_vs_nocache", e.NoCacheSec, e.SampledSec, e.SpeedupSampled},
+		}
+		for _, c := range checks {
+			want := c.num / c.den
+			if math.Abs(c.announced-want) > 1e-9*want {
+				return fmt.Errorf("entry %d: %s says %v, wall clocks say %v", i, c.name, c.announced, want)
+			}
+		}
+		if !e.Identical {
+			return fmt.Errorf("entry %d: unsampled outputs were not byte-identical", i)
+		}
+	}
+	return nil
 }
 
 // checkQueuesim enforces the BENCH_queuesim.json schema benchjson
@@ -207,6 +289,19 @@ func checkMetrics(path string) error {
 			if total != h.Count {
 				return fmt.Errorf("scope %s: histogram %s buckets sum to %d, count says %d",
 					sc.Name, name, total, h.Count)
+			}
+		}
+		// The prep-cache scopes have a fixed instrument contract: a
+		// snapshot that carries one must carry all of its counters and
+		// the retained-bytes high-water gauge.
+		if sc.Name == "trace.cache" || sc.Name == "trace.batchcache" {
+			for _, want := range []string{"hits", "misses", "bypassed", "drops", "dropped_bytes"} {
+				if _, ok := sc.Counters[want]; !ok {
+					return fmt.Errorf("scope %s: missing counter %s", sc.Name, want)
+				}
+			}
+			if _, ok := sc.Gauges["bytes_hwm"]; !ok {
+				return fmt.Errorf("scope %s: missing gauge bytes_hwm", sc.Name)
 			}
 		}
 	}

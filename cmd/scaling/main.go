@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"simr/internal/cacheflag"
 	"simr/internal/core"
 	"simr/internal/obsflag"
 	"simr/internal/prof"
@@ -32,10 +33,12 @@ func main() {
 	lookahead := flag.Int("lookahead", core.PrepAuto, "intra-run prep pipeline depth in batches (-1 = auto from spare CPUs, 0 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	cacheFlags := cacheflag.Add(flag.CommandLine)
 	obsFlags := obsflag.Add(flag.CommandLine)
 	sampleFlags := sampleflag.Add(flag.CommandLine)
 	flag.Parse()
 	core.SetPrepLookahead(*lookahead)
+	cacheFlags.Setup()
 	if _, err := sampleFlags.Setup(); err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"simr/internal/core"
 	"simr/internal/obs"
 	"simr/internal/obsflag"
+	"simr/internal/prof"
 	"simr/internal/queuesim"
 	"simr/internal/sampleflag"
 )
@@ -35,12 +36,19 @@ func main() {
 	hedge := flag.Float64("hedge", 0, "tail mode: hedge delay (ms), 0 = no hedging")
 	qcap := flag.Int("qcap", 0, "tail mode: per-station queue cap, 0 = unbounded")
 	drain := flag.Float64("drain", 2, "tail mode: drain horizon (seconds past the arrival window)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	obsFlags := obsflag.Add(flag.CommandLine)
 	sampleFlags := sampleflag.Add(flag.CommandLine)
 	flag.Parse()
 	if _, err := sampleFlags.Setup(); err != nil {
 		log.Fatal(err)
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	obsFlags.Setup()
 	defer obsFlags.Close()
 

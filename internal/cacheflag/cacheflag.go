@@ -1,0 +1,36 @@
+// Package cacheflag wires the sweep-cache command-line flags shared by
+// the study drivers: -batchcache toggles the batch-stream memoization
+// layer and -cachebudget bounds the byte budget the per-sweep caches
+// (scalar traces + batch streams) may retain. Both knobs only affect
+// wall clock and memory; study output is byte-identical at any
+// setting.
+package cacheflag
+
+import (
+	"flag"
+
+	"simr/internal/core"
+)
+
+// Flags holds the parsed cache flags until Setup installs them.
+type Flags struct {
+	batch  *bool
+	budget *int
+}
+
+// Add registers the cache flags on fs.
+func Add(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	f.batch = fs.Bool("batchcache", true,
+		"memoize post-merge batch uop streams across sweep cells (outputs are byte-identical on or off)")
+	f.budget = fs.Int("cachebudget", 0,
+		"shared trace+batch cache budget in MiB (0 = default 512)")
+	return f
+}
+
+// Setup installs the parsed flags process-wide. Call after flag.Parse
+// and before running any study.
+func (f *Flags) Setup() {
+	core.SetBatchCaching(*f.batch)
+	core.SetCacheBudget(int64(*f.budget) << 20)
+}

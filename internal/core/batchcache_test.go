@@ -1,0 +1,281 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"simr/internal/alloc"
+	"simr/internal/batch"
+	"simr/internal/sample"
+	"simr/internal/simt"
+	"simr/internal/trace"
+	"simr/internal/uservices"
+)
+
+// withFreshBatchStreams runs fn with the sweep-level batch-stream
+// cache disabled so every cell prepares its batches from scratch (the
+// pre-memoization code path).
+func withFreshBatchStreams(t *testing.T, fn func()) {
+	t.Helper()
+	disableBatchCache = true
+	defer func() { disableBatchCache = false }()
+	fn()
+}
+
+// withLookahead pins the prep lookahead for fn and restores automatic
+// derivation afterwards.
+func withLookahead(t *testing.T, la int, fn func()) {
+	t.Helper()
+	SetPrepLookahead(la)
+	defer SetPrepLookahead(-1)
+	fn()
+}
+
+// TestBatchCacheStudyDeterminism is the tentpole guarantee of the
+// batch-stream cache: memoized sweeps render byte-identically to
+// fresh-preparation sweeps at every (workers, lookahead) combination —
+// the cache may only change wall clock, never output. Under -race this
+// doubles as the cache's concurrent integration test.
+func TestBatchCacheStudyDeterminism(t *testing.T) {
+	suite := uservices.NewSuite()
+
+	t.Run("chip", func(t *testing.T) {
+		render := func(rows []ChipRow) []byte {
+			var buf bytes.Buffer
+			WriteFig10(&buf, rows)
+			WriteFig14(&buf, rows)
+			WriteFig19(&buf, rows)
+			WriteFig20(&buf, rows)
+			WriteFig21(&buf, rows)
+			return buf.Bytes()
+		}
+		for _, workers := range []int{1, 4} {
+			for _, la := range []int{0, 1, 4} {
+				withLookahead(t, la, func() {
+					// withGPU exercises cross-architecture stream
+					// sharing: RPU and GPU cells have identical prep
+					// keys and must serve each other's streams.
+					cached, err := ChipStudyParallel(suite, 32, 3, true, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var fresh []ChipRow
+					withFreshBatchStreams(t, func() {
+						fresh, err = ChipStudyParallel(suite, 32, 3, true, workers)
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(render(cached), render(fresh)) {
+						t.Fatalf("workers=%d lookahead=%d: memoized chip study differs from fresh preparation", workers, la)
+					}
+				})
+			}
+		}
+	})
+
+	t.Run("sensitivity", func(t *testing.T) {
+		for _, la := range []int{0, 4} {
+			withLookahead(t, la, func() {
+				var cached, fresh bytes.Buffer
+				if err := SensitivityStudyParallel(&cached, suite, []string{"urlshort", "memc"}, 64, 3, 4); err != nil {
+					t.Fatal(err)
+				}
+				var err error
+				withFreshBatchStreams(t, func() {
+					err = SensitivityStudyParallel(&fresh, suite, []string{"urlshort", "memc"}, 64, 3, 4)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cached.String() != fresh.String() {
+					t.Fatalf("lookahead=%d: memoized sensitivity report differs from fresh preparation", la)
+				}
+			})
+		}
+	})
+
+	t.Run("multibatch", func(t *testing.T) {
+		for _, workers := range []int{1, 4} {
+			cached, err := MultiBatchSweep(suite, 3, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fresh []MultiBatchRow
+			withFreshBatchStreams(t, func() {
+				fresh, err = MultiBatchSweep(suite, 3, workers)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(cached, fresh) {
+				t.Fatalf("workers=%d: memoized multi-batch sweep differs from fresh preparation", workers)
+			}
+		}
+	})
+
+	t.Run("efficiency", func(t *testing.T) {
+		cached, err := EfficiencyStudyParallel(suite, 64, 7, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fresh []EffRow
+		withFreshBatchStreams(t, func() {
+			fresh, err = EfficiencyStudyParallel(suite, 64, 7, 4)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cached, fresh) {
+			t.Fatal("memoized efficiency study differs from fresh preparation")
+		}
+	})
+
+	t.Run("timingsweep", func(t *testing.T) {
+		render := func(rows []TimingRow) []byte {
+			var buf bytes.Buffer
+			WriteTimingSweep(&buf, rows)
+			return buf.Bytes()
+		}
+		withLookahead(t, 1, func() {
+			cached, err := TimingSweepParallel(suite, 32, 3, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fresh []TimingRow
+			withFreshBatchStreams(t, func() {
+				fresh, err = TimingSweepParallel(suite, 32, 3, 4)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(render(cached), render(fresh)) {
+				t.Fatal("memoized timing sweep differs from fresh preparation")
+			}
+		})
+	})
+}
+
+// TestBatchCacheRunServiceHits verifies the direct contract at the
+// RunService level: two identical runs sharing one BatchCache produce
+// equal Results, the second run is served entirely from the cache, and
+// both match a run with no cache at all.
+func TestBatchCacheRunServiceHits(t *testing.T) {
+	suite := uservices.NewSuite()
+	svc := suite.Get("memc")
+	reqs := genRequests(svc, 96, 7)
+	bc := trace.NewBatchCache(trace.NewBudget(0))
+
+	run := func(cache *trace.BatchCache) *Result {
+		t.Helper()
+		opts := DefaultOptions()
+		opts.BatchStreams = cache
+		opts.PrepLookahead = 2
+		res, err := RunService(ArchRPU, svc, reqs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	first := run(bc)
+	st := bc.Stats()
+	if st.Misses != uint64(first.Batches) || st.Hits != 0 {
+		t.Fatalf("first run: got %d misses / %d hits, want %d misses / 0 hits", st.Misses, st.Hits, first.Batches)
+	}
+	if st.Bytes <= 0 || st.BytesHWM < st.Bytes {
+		t.Fatalf("first run: implausible retained bytes %d (hwm %d)", st.Bytes, st.BytesHWM)
+	}
+
+	second := run(bc)
+	st2 := bc.Stats()
+	if got := st2.Hits - st.Hits; got != uint64(second.Batches) {
+		t.Fatalf("second run: got %d hits, want %d (every batch served from cache)", got, second.Batches)
+	}
+	if st2.Misses != st.Misses {
+		t.Fatalf("second run rebuilt %d streams", st2.Misses-st.Misses)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cache-served run differs from the run that built the cache")
+	}
+
+	if fresh := run(nil); !reflect.DeepEqual(first, fresh) {
+		t.Fatal("memoized run differs from uncached run")
+	}
+
+	bc.Drop()
+	dst := bc.Stats()
+	if dst.Drops != 1 || dst.Bytes != 0 {
+		t.Fatalf("after drop: drops=%d bytes=%d, want 1/0", dst.Drops, dst.Bytes)
+	}
+}
+
+// TestSIMTEffSampledTimedUnitsOnly is the regression test for the
+// sampled-run consistency fix: SIMTEff must be computed from the timed
+// units only (the subpopulation every other Result field extrapolates
+// from), not from all batches. The expected value is derived
+// independently by lock-stepping exactly the batches the sampling grid
+// times.
+func TestSIMTEffSampledTimedUnitsOnly(t *testing.T) {
+	suite := uservices.NewSuite()
+	svc := suite.Get("memc")
+	reqs := genRequests(svc, 96, 7)
+	const size = 32
+	cfg := sample.Config{Period: 2, Warmup: 1}
+
+	opts := DefaultOptions()
+	opts.BatchSize = size
+	opts.Sample = cfg
+	res, err := RunService(ArchRPU, svc, reqs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batches := batch.Form(reqs, size, opts.Policy)
+	if len(batches) < 2 {
+		t.Fatalf("need >=2 batches to distinguish timed from warm units, got %d", len(batches))
+	}
+	timedAny := false
+	scalar, ops := 0, 0
+	var sc simt.Scratch
+	for i, b := range batches {
+		if cfg.Role(i) != sample.RoleTimed {
+			continue
+		}
+		timedAny = true
+		sg := alloc.NewStackGroup(0, len(b.Requests), opts.StackInterleave)
+		traces, err := batchTraces(nil, svc, b.Requests, sg, opts.AllocPolicy, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, err := simt.RunMinSPPCWith(&sc, traces, size, opts.Spin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar += merged.ScalarOps
+		ops += len(merged.Ops)
+	}
+	if !timedAny {
+		t.Fatal("sampling grid timed no unit; pick a different population")
+	}
+	want := float64(scalar) / (float64(ops) * float64(size))
+	if res.SIMTEff != want {
+		t.Fatalf("sampled SIMTEff = %v, want %v (timed units only)", res.SIMTEff, want)
+	}
+
+	// Timing every unit (Period 1) must agree with the unsampled run.
+	opts.Sample = sample.Config{Period: 1}
+	every, err := RunService(ArchRPU, svc, reqs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Sample = sample.Config{}
+	full, err := RunService(ArchRPU, svc, reqs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if every.SIMTEff != full.SIMTEff {
+		t.Fatalf("period-1 SIMTEff %v differs from unsampled %v", every.SIMTEff, full.SIMTEff)
+	}
+}

@@ -46,6 +46,13 @@ type Options struct {
 	// (see internal/trace); nil interprets every request fresh. Results
 	// are byte-identical either way.
 	Traces *trace.Cache
+	// BatchStreams optionally supplies the sweep's shared batch-stream
+	// cache memoizing the post-merge preparation product (merged uop
+	// stream + MCU delta + op counts) across cells that differ only in
+	// timing-model knobs; nil prepares every batch fresh. Cached
+	// streams are cache-owned and read-only. Results are byte-identical
+	// either way.
+	BatchStreams *trace.BatchCache
 	// PrepLookahead bounds how many upcoming batches (or request
 	// groups) are prepared — trace fetch, SIMT lock-step merge, uop
 	// build — on worker goroutines ahead of the batch the timing core
@@ -97,6 +104,10 @@ type Result struct {
 	// Latency samples one service latency per request, in cycles.
 	Latency *stats.Sample
 	// SIMTEff is the weighted SIMT control efficiency (1 for scalar).
+	// Under sampled simulation it is computed from the timed units
+	// only — the same subpopulation Stats extrapolates from — so every
+	// Result field describes one consistent sample; full runs time
+	// every unit and are unaffected.
 	SIMTEff float64
 	// FreqGHz converts cycles to seconds.
 	FreqGHz float64
@@ -247,16 +258,40 @@ func runSMT(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts Op
 
 	// One slot per in-flight group: all of a group's streams live in
 	// the slot's arena simultaneously until merged, and the merged
-	// stream stays valid until the timing core has consumed it.
+	// stream stays valid until the timing core has consumed it. The
+	// merge is memoized through the sweep's batch-stream cache when the
+	// options carry one; each slot owns one build closure (reading the
+	// group through the slot) so the hit path allocates nothing.
 	la := opts.lookahead()
 	type smtSlot struct {
 		ub      uopBuilder
 		streams [][]pipeline.Uop
-		merged  []pipeline.Uop
-		nreq    int
+		key     []byte
+		group   []uservices.Request
+		local   trace.BatchStream
+		stream  *trace.BatchStream
+		build   func() (*trace.BatchStream, error)
 	}
 	sp := newRunSampler(opts.sampleConfig(), groups, len(reqs))
 	slots := make([]smtSlot, la+1)
+	for i := range slots {
+		sl := &slots[i]
+		sl.build = func() (*trace.BatchStream, error) {
+			group := sl.group
+			sl.ub.reset()
+			sl.streams = sl.streams[:0]
+			for t := range group {
+				tr, err := scalarTrace(opts.Traces, svc, &group[t], t, sg.StackBase(t), alloc.PolicyCPU, 1)
+				if err != nil {
+					return nil, err
+				}
+				sl.streams = append(sl.streams, sl.ub.scalarUops(tr, t))
+			}
+			sl.local = trace.BatchStream{Requests: len(group)}
+			sl.local.Uops = sl.ub.mergeSMT(sl.streams)
+			return &sl.local, nil
+		}
+	}
 	err := pipelined(sp.unitCount(groups), la,
 		func(slot, k int) error {
 			g := sp.unit(k)
@@ -265,36 +300,35 @@ func runSMT(arch Arch, svc *uservices.Service, reqs []uservices.Request, opts Op
 			if end > len(reqs) {
 				end = len(reqs)
 			}
-			group := reqs[off:end]
 			sl := &slots[slot]
-			sl.ub.reset()
-			sl.streams = sl.streams[:0]
-			for t := range group {
-				tr, err := scalarTrace(opts.Traces, svc, &group[t], t, sg.StackBase(t), alloc.PolicyCPU, 1)
-				if err != nil {
-					return err
-				}
-				sl.streams = append(sl.streams, sl.ub.scalarUops(tr, t))
+			sl.group = reqs[off:end]
+			var err error
+			if opts.BatchStreams == nil {
+				sl.stream, err = sl.build()
+				return err
 			}
-			sl.merged = sl.ub.mergeSMT(sl.streams)
-			sl.nreq = len(group)
-			return nil
+			// sg.StackBase(0)-StackSize is the group's base address
+			// (thread t's stack starts one StackSize above base+t).
+			sl.key = trace.AppendBatchKey(sl.key[:0], trace.KeySMT, sl.group, ways,
+				false, nil, alloc.PolicyCPU, false, lineBytes, 1, sg.StackBase(0)-alloc.StackSize)
+			sl.stream, err = opts.BatchStreams.Get(sl.key, sl.build)
+			return err
 		},
 		func(slot, k int) {
-			sl := &slots[slot]
+			bs := slots[slot].stream
 			if !sp.timed(sp.unit(k)) {
-				sp.warm(cpu, ms, sl.merged)
+				sp.warm(cpu, ms, bs.Uops)
 				return
 			}
 			prev := ms.Stats()
 			ms.ResetTiming()
-			st := cpu.Run(ms, sl.merged)
+			st := cpu.Run(ms, bs.Uops)
 			st.Mem = st.Mem.Delta(&prev)
 			res.Stats.Accumulate(&st)
-			for j := 0; j < sl.nreq; j++ {
+			for j := 0; j < bs.Requests; j++ {
 				res.Latency.Add(float64(st.Cycles))
 			}
-			sp.observe(&st, sl.nreq)
+			sp.observe(&st, bs.Requests)
 		})
 	if err != nil {
 		return nil, err
@@ -336,28 +370,32 @@ func runBatched(arch Arch, svc *uservices.Service, reqs []uservices.Request, opt
 	// goroutines while the timing core consumes earlier ones. The
 	// consumer applies each delta to ms.MCU before Run, which lands the
 	// coalescer counts inside the same prev/Delta window the sequential
-	// loop (which bumped ms.MCU during the build) gave them.
+	// loop (which bumped ms.MCU during the build) gave them. When the
+	// options carry a batch-stream cache, prep consults it first and
+	// only falls back to the live build on a miss; a hit serves a
+	// cache-owned read-only stream with zero allocations (each slot
+	// owns one build closure and one reused key buffer).
 	totalScalar, totalBatchOps := 0, 0
 	la := opts.lookahead()
 	type rpuSlot struct {
-		ub       uopBuilder
-		sc       simt.Scratch
-		uops     []pipeline.Uop
-		mcu      mem.MCUStats
-		scalar   int
-		batchOps int
-		nreq     int
+		ub     uopBuilder
+		sc     simt.Scratch
+		key    []byte
+		batch  *batch.Batch
+		local  trace.BatchStream
+		stream *trace.BatchStream
+		build  func() (*trace.BatchStream, error)
 	}
 	sp := newRunSampler(opts.sampleConfig(), len(batches), len(reqs))
 	slots := make([]rpuSlot, la+1)
-	err := pipelined(sp.unitCount(len(batches)), la,
-		func(slot, k int) error {
-			b := &batches[sp.unit(k)]
-			sl := &slots[slot]
+	for i := range slots {
+		sl := &slots[i]
+		sl.build = func() (*trace.BatchStream, error) {
+			b := sl.batch
 			sg := alloc.NewStackGroup(0, len(b.Requests), opts.StackInterleave)
 			traces, err := batchTraces(opts.Traces, svc, b.Requests, sg, opts.AllocPolicy, cfgM.L1.Banks)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			var merged *simt.Result
 			if opts.UseIPDOM {
@@ -366,36 +404,62 @@ func runBatched(arch Arch, svc *uservices.Service, reqs []uservices.Request, opt
 				merged, err = simt.RunMinSPPCWith(&sl.sc, traces, size, opts.Spin)
 			}
 			if err != nil {
+				return nil, err
+			}
+			// merged aliases sl.sc and the built uops alias sl.ub: the
+			// local stream stays valid until the consumer releases the
+			// slot (the cache deep copies it before sharing).
+			sl.ub.reset()
+			sl.local = trace.BatchStream{
+				ScalarOps: merged.ScalarOps,
+				BatchOps:  len(merged.Ops),
+				Requests:  len(b.Requests),
+			}
+			sl.local.Uops = sl.ub.batchUops(merged.Ops, sg, opts.StackInterleave, &sl.local.MCU)
+			return &sl.local, nil
+		}
+	}
+	err := pipelined(sp.unitCount(len(batches)), la,
+		func(slot, k int) error {
+			sl := &slots[slot]
+			sl.batch = &batches[sp.unit(k)]
+			var err error
+			if opts.BatchStreams == nil {
+				sl.stream, err = sl.build()
 				return err
 			}
-			// merged aliases sl.sc and uops alias sl.ub: both stay
-			// valid until the consumer releases the slot.
-			sl.ub.reset()
-			sl.mcu = mem.MCUStats{}
-			sl.uops = sl.ub.batchUops(merged.Ops, sg, opts.StackInterleave, &sl.mcu)
-			sl.scalar = merged.ScalarOps
-			sl.batchOps = len(merged.Ops)
-			sl.nreq = len(b.Requests)
-			return nil
+			// Batch 0's stack group always starts at StackRegion, so
+			// the key's stack base is known without laying the group
+			// out. Lanes, majority voting, atomics placement and
+			// frequency are timing-only and deliberately absent.
+			sl.key = trace.AppendBatchKey(sl.key[:0], trace.KeyBatch, sl.batch.Requests, size,
+				opts.UseIPDOM, opts.Spin, opts.AllocPolicy, opts.StackInterleave,
+				lineBytes, cfgM.L1.Banks, alloc.StackRegion)
+			sl.stream, err = opts.BatchStreams.Get(sl.key, sl.build)
+			return err
 		},
 		func(slot, k int) {
-			sl := &slots[slot]
-			totalScalar += sl.scalar
-			totalBatchOps += sl.batchOps
+			bs := slots[slot].stream
 			if !sp.timed(sp.unit(k)) {
-				sp.warm(rpu, ms, sl.uops)
+				sp.warm(rpu, ms, bs.Uops)
 				return
 			}
+			// SIMT efficiency accumulates over timed units only — the
+			// subpopulation Stats extrapolates from — so sampled runs
+			// report one consistent Result; unsampled runs time every
+			// unit and are unchanged.
+			totalScalar += bs.ScalarOps
+			totalBatchOps += bs.BatchOps
 			prev := ms.Stats()
-			ms.MCU.Add(&sl.mcu)
+			ms.MCU.Add(&bs.MCU)
 			ms.ResetTiming()
-			st := rpu.Run(ms, sl.uops)
+			st := rpu.Run(ms, bs.Uops)
 			st.Mem = st.Mem.Delta(&prev)
 			res.Stats.Accumulate(&st)
-			for j := 0; j < sl.nreq; j++ {
+			for j := 0; j < bs.Requests; j++ {
 				res.Latency.Add(float64(st.Cycles))
 			}
-			sp.observe(&st, sl.nreq)
+			sp.observe(&st, bs.Requests)
 		})
 	if err != nil {
 		return nil, err

@@ -26,29 +26,60 @@ type EffRow struct {
 }
 
 // efficiencyOf lock-steps all batches of a policy and returns weighted
-// SIMT efficiency. tc may be nil to interpret traces fresh.
-func efficiencyOf(svc *uservices.Service, reqs []uservices.Request, size int, p batch.Policy, ipdom bool, tc *trace.Cache) (float64, error) {
+// SIMT efficiency. tc may be nil to interpret traces fresh; bc may be
+// nil to lock-step every batch fresh. The study only needs the op
+// counts, so cached entries are count-only streams under the KeyEff
+// tag (distinct from the uop streams runBatched retains).
+func efficiencyOf(svc *uservices.Service, reqs []uservices.Request, size int, p batch.Policy, ipdom bool, tc *trace.Cache, bc *trace.BatchCache) (float64, error) {
 	reconv := svc.BranchReconv()
 	scalar, ops := 0, 0
-	var sc simt.Scratch
+	var (
+		sc  simt.Scratch
+		key []byte
+	)
+	spin := simt.DefaultSpin
+	sp := &spin
+	if ipdom {
+		sp = nil
+	}
 	for _, b := range batch.Form(reqs, size, p) {
-		sg := alloc.NewStackGroup(0, len(b.Requests), true)
-		traces, err := batchTraces(tc, svc, b.Requests, sg, alloc.PolicySIMR, 8)
-		if err != nil {
-			return 0, err
+		build := func() (*trace.BatchStream, error) {
+			sg := alloc.NewStackGroup(0, len(b.Requests), true)
+			traces, err := batchTraces(tc, svc, b.Requests, sg, alloc.PolicySIMR, 8)
+			if err != nil {
+				return nil, err
+			}
+			var res *simt.Result
+			if ipdom {
+				res, err = simt.RunIPDOMWith(&sc, traces, size, reconv)
+			} else {
+				res, err = simt.RunMinSPPCWith(&sc, traces, size, sp)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return &trace.BatchStream{
+				ScalarOps: res.ScalarOps,
+				BatchOps:  len(res.Ops),
+				Requests:  len(b.Requests),
+			}, nil
 		}
-		var res *simt.Result
-		if ipdom {
-			res, err = simt.RunIPDOMWith(&sc, traces, size, reconv)
+		var (
+			st  *trace.BatchStream
+			err error
+		)
+		if bc == nil {
+			st, err = build()
 		} else {
-			spin := simt.DefaultSpin
-			res, err = simt.RunMinSPPCWith(&sc, traces, size, &spin)
+			key = trace.AppendBatchKey(key[:0], trace.KeyEff, b.Requests, size,
+				ipdom, sp, alloc.PolicySIMR, true, lineBytes, 8, alloc.StackRegion)
+			st, err = bc.Get(key, build)
 		}
 		if err != nil {
 			return 0, err
 		}
-		scalar += res.ScalarOps
-		ops += len(res.Ops)
+		scalar += st.ScalarOps
+		ops += st.BatchOps
 	}
 	if ops == 0 {
 		return 0, nil

@@ -8,6 +8,7 @@ import (
 	"simr/internal/mem"
 	"simr/internal/pipeline"
 	"simr/internal/simt"
+	"simr/internal/trace"
 	"simr/internal/uservices"
 )
 
@@ -178,21 +179,49 @@ func MultiBatchStudy(svc *uservices.Service, reqs []uservices.Request, opts Opti
 	cfgM := MemConfig(ArchRPU)
 
 	var (
-		mcu mem.MCUStats
 		ub  uopBuilder // never reset: streams a and b stay alive together
 		sc  simt.Scratch
+		key []byte
 	)
 	mkUops := func(rs []uservices.Request, thread int) ([]pipeline.Uop, error) {
 		sg := alloc.NewStackGroup(0, len(rs), opts.StackInterleave)
-		traces, err := batchTraces(opts.Traces, svc, rs, sg, opts.AllocPolicy, cfgM.L1.Banks)
-		if err != nil {
-			return nil, err
+		var local trace.BatchStream
+		build := func() (*trace.BatchStream, error) {
+			traces, err := batchTraces(opts.Traces, svc, rs, sg, opts.AllocPolicy, cfgM.L1.Banks)
+			if err != nil {
+				return nil, err
+			}
+			merged, err := simt.RunMinSPPCWith(&sc, traces, size, opts.Spin)
+			if err != nil {
+				return nil, err
+			}
+			local.Uops = ub.batchUops(merged.Ops, sg, opts.StackInterleave, &local.MCU)
+			local.ScalarOps = merged.ScalarOps
+			local.BatchOps = len(merged.Ops)
+			local.Requests = len(rs)
+			return &local, nil
 		}
-		merged, err := simt.RunMinSPPCWith(&sc, traces, size, opts.Spin)
-		if err != nil {
-			return nil, err
+		var uops []pipeline.Uop
+		if opts.BatchStreams == nil {
+			st, err := build()
+			if err != nil {
+				return nil, err
+			}
+			uops = st.Uops
+		} else {
+			// The study always lock-steps with MinSP-PC, so the key
+			// says ipdom=false regardless of opts.UseIPDOM.
+			key = trace.AppendBatchKey(key[:0], trace.KeyBatch, rs, size,
+				false, opts.Spin, opts.AllocPolicy, opts.StackInterleave,
+				lineBytes, cfgM.L1.Banks, alloc.StackRegion)
+			st, err := opts.BatchStreams.Get(key, build)
+			if err != nil {
+				return nil, err
+			}
+			// The stream may be cache-owned (immutable): copy it into
+			// the local arena before overwriting Thread below.
+			uops = ub.copyUops(st.Uops)
 		}
-		uops := ub.batchUops(merged.Ops, sg, opts.StackInterleave, &mcu)
 		for i := range uops {
 			uops[i].Thread = thread
 		}

@@ -106,34 +106,67 @@ func genRequests(svc *uservices.Service, requests int, seed int64) []uservices.R
 // compare cached sweeps against fresh interpretation byte for byte.
 var disableTraceCache bool
 
-// sweepCaches owns one trace.Cache and one shared request stream per
-// service of a sweep, all drawing on a single byte budget. Cells of the
-// same service share the cache and the stream (both read-only); a
-// per-service countdown drops the cache — returning its bytes to the
-// budget — as soon as the service's last cell finishes, so long sweeps
-// never hold every service's traces at once.
+// disableBatchCache turns off batch-stream caching for the whole
+// package; the determinism tests (and the drivers' -batchcache=false)
+// flip it to compare memoized sweeps against fresh preparation byte
+// for byte.
+var disableBatchCache bool
+
+// cacheBudgetBytes overrides the shared per-sweep cache byte budget
+// (0 = trace.DefaultBudgetBytes). The scalar trace cache and the
+// batch-stream cache draw on the same budget.
+var cacheBudgetBytes int64
+
+// SetTraceCaching enables or disables the sweep-wide scalar-trace
+// cache (and request-stream sharing). Results are byte-identical
+// either way; only wall clock changes. Not safe to flip concurrently
+// with a running study.
+func SetTraceCaching(on bool) { disableTraceCache = !on }
+
+// SetBatchCaching enables or disables the sweep-wide batch-stream
+// cache (the drivers' -batchcache flag). Results are byte-identical
+// either way; only wall clock changes. Not safe to flip concurrently
+// with a running study.
+func SetBatchCaching(on bool) { disableBatchCache = !on }
+
+// SetCacheBudget pins the byte budget the per-sweep caches (scalar
+// traces + batch streams together) may retain; <= 0 restores
+// trace.DefaultBudgetBytes. Over-budget entries are served but not
+// retained, so results are byte-identical at any budget.
+func SetCacheBudget(bytes int64) { cacheBudgetBytes = bytes }
+
+// sweepCaches owns one trace.Cache, one trace.BatchCache and one
+// shared request stream per service of a sweep, all drawing on a
+// single byte budget. Cells of the same service share the caches and
+// the stream (all read-only); a per-service countdown drops both
+// caches — returning their bytes to the budget — as soon as the
+// service's last cell finishes, so long sweeps never hold every
+// service's traces and streams at once.
 type sweepCaches struct {
-	svcs   []*uservices.Service
-	budget *trace.Budget
-	caches []*trace.Cache
-	reqs   [][]uservices.Request
-	once   []sync.Once
-	left   []atomic.Int32
+	svcs    []*uservices.Service
+	budget  *trace.Budget
+	caches  []*trace.Cache
+	bcaches []*trace.BatchCache
+	reqs    [][]uservices.Request
+	once    []sync.Once
+	left    []atomic.Int32
 }
 
 // newSweepCaches builds the per-service caches for a sweep in which
 // every service is evaluated by cellsPer cells.
 func newSweepCaches(svcs []*uservices.Service, cellsPer int) *sweepCaches {
 	sw := &sweepCaches{
-		svcs:   svcs,
-		budget: trace.NewBudget(0),
-		caches: make([]*trace.Cache, len(svcs)),
-		reqs:   make([][]uservices.Request, len(svcs)),
-		once:   make([]sync.Once, len(svcs)),
-		left:   make([]atomic.Int32, len(svcs)),
+		svcs:    svcs,
+		budget:  trace.NewBudget(cacheBudgetBytes),
+		caches:  make([]*trace.Cache, len(svcs)),
+		bcaches: make([]*trace.BatchCache, len(svcs)),
+		reqs:    make([][]uservices.Request, len(svcs)),
+		once:    make([]sync.Once, len(svcs)),
+		left:    make([]atomic.Int32, len(svcs)),
 	}
 	for i, svc := range svcs {
 		sw.caches[i] = trace.NewCache(svc, sw.budget)
+		sw.bcaches[i] = trace.NewBatchCache(sw.budget)
 		sw.left[i].Store(int32(cellsPer))
 	}
 	return sw
@@ -148,6 +181,15 @@ func (sw *sweepCaches) cache(s int) *trace.Cache {
 	return sw.caches[s]
 }
 
+// batchCache returns service s's batch-stream cache (nil when batch
+// caching is disabled, which makes every consumer prepare fresh).
+func (sw *sweepCaches) batchCache(s int) *trace.BatchCache {
+	if disableBatchCache {
+		return nil
+	}
+	return sw.bcaches[s]
+}
+
 // requests returns service s's shared request stream, generating it on
 // first use. The stream is read-only for all cells.
 func (sw *sweepCaches) requests(s, n int, seed int64) []uservices.Request {
@@ -159,10 +201,11 @@ func (sw *sweepCaches) requests(s, n int, seed int64) []uservices.Request {
 }
 
 // done marks one of service s's cells finished and drops the service's
-// cache when the last one completes.
+// caches when the last one completes.
 func (sw *sweepCaches) done(s int) {
 	if sw.left[s].Add(-1) == 0 {
 		sw.caches[s].Drop()
+		sw.bcaches[s].Drop()
 	}
 }
 
@@ -174,6 +217,9 @@ func (sw *sweepCaches) done(s int) {
 // done is harmless.
 func (sw *sweepCaches) abort() {
 	for _, c := range sw.caches {
+		c.Drop()
+	}
+	for _, c := range sw.bcaches {
 		c.Drop()
 	}
 }
@@ -193,6 +239,7 @@ func ChipStudyParallel(suite *uservices.Suite, requests int, seed int64, withGPU
 		defer sw.done(s)
 		opts := DefaultOptions()
 		opts.Traces = sw.cache(s)
+		opts.BatchStreams = sw.batchCache(s)
 		opts.PrepLookahead = la
 		return RunService(arches[i%na], suite.Services[s], sw.requests(s, requests, seed), opts)
 	})
@@ -229,7 +276,7 @@ func EfficiencyStudyParallel(suite *uservices.Suite, requests int, seed int64, w
 		s := i / nv
 		defer sw.done(s)
 		v := variants[i%nv]
-		return efficiencyOf(suite.Services[s], sw.requests(s, requests, seed), 32, v.policy, v.ipdom, sw.cache(s))
+		return efficiencyOf(suite.Services[s], sw.requests(s, requests, seed), 32, v.policy, v.ipdom, sw.cache(s), sw.batchCache(s))
 	})
 	if err != nil {
 		sw.abort()
@@ -263,6 +310,7 @@ func MPKIStudyParallel(suite *uservices.Suite, requests int, seed int64, workers
 		reqs := sw.requests(s, requests, seed)
 		opts := DefaultOptions()
 		opts.Traces = sw.cache(s)
+		opts.BatchStreams = sw.batchCache(s)
 		opts.PrepLookahead = la
 		if i%nc == 0 {
 			return RunService(ArchCPU, svc, reqs, opts)
@@ -300,6 +348,7 @@ func BatchSweep(svc *uservices.Service, reqs []uservices.Request, sizes []int, w
 		defer sw.done(0)
 		opts := DefaultOptions()
 		opts.Traces = sw.cache(0)
+		opts.BatchStreams = sw.batchCache(0)
 		opts.PrepLookahead = la
 		if i == 0 {
 			return RunService(ArchCPU, svc, reqs, opts)
@@ -334,6 +383,7 @@ func MultiBatchSweep(suite *uservices.Suite, seed int64, workers int) ([]MultiBa
 		svc := suite.Services[i]
 		opts := DefaultOptions()
 		opts.Traces = sw.cache(i)
+		opts.BatchStreams = sw.batchCache(i)
 		return MultiBatchStudy(svc, sw.requests(i, 2*svc.TunedBatch, seed), opts)
 	})
 	if err != nil {

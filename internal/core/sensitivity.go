@@ -19,9 +19,10 @@ type SensRow struct {
 }
 
 // runVariant executes one mutated option set.
-func runVariant(arch Arch, svc *uservices.Service, reqs []uservices.Request, mutate func(*Options), tc *trace.Cache, la int) (*Result, error) {
+func runVariant(arch Arch, svc *uservices.Service, reqs []uservices.Request, mutate func(*Options), tc *trace.Cache, bc *trace.BatchCache, la int) (*Result, error) {
 	ov := DefaultOptions()
 	ov.Traces = tc
+	ov.BatchStreams = bc
 	ov.PrepLookahead = la
 	mutate(&ov)
 	return RunService(arch, svc, reqs, ov)
@@ -39,10 +40,11 @@ type sensBase struct {
 	err  [NumArchs]error
 }
 
-func (b *sensBase) get(arch Arch, svc *uservices.Service, reqs []uservices.Request, tc *trace.Cache, la int) (*Result, error) {
+func (b *sensBase) get(arch Arch, svc *uservices.Service, reqs []uservices.Request, tc *trace.Cache, bc *trace.BatchCache, la int) (*Result, error) {
 	b.once[arch].Do(func() {
 		ob := DefaultOptions()
 		ob.Traces = tc
+		ob.BatchStreams = bc
 		ob.PrepLookahead = la
 		b.res[arch], b.err[arch] = RunService(arch, svc, reqs, ob)
 	})
@@ -96,11 +98,11 @@ func SensitivityStudyParallel(w io.Writer, suite *uservices.Suite, services []st
 		s := i % ns
 		defer sw.done(s)
 		reqs := sw.requests(s, requests, seed)
-		b, err := bases[s].get(m.arch, svcs[s], reqs, sw.cache(s), la)
+		b, err := bases[s].get(m.arch, svcs[s], reqs, sw.cache(s), sw.batchCache(s), la)
 		if err != nil {
 			return sensPair{}, err
 		}
-		v, err := runVariant(m.arch, svcs[s], reqs, m.mutate, sw.cache(s), la)
+		v, err := runVariant(m.arch, svcs[s], reqs, m.mutate, sw.cache(s), sw.batchCache(s), la)
 		return sensPair{b, v}, err
 	})
 	if err != nil {

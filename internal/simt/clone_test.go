@@ -1,0 +1,69 @@
+package simt
+
+import (
+	"reflect"
+	"testing"
+	"unsafe"
+)
+
+func cloneFixture() *Result {
+	addrs := []uint64{0x100, 0x108, 0x110, 0x200}
+	return &Result{
+		Ops: []BatchOp{
+			{PC: 0x40, Mask: 0b11, Dep1: -1, Dep2: -1},
+			{PC: 0x44, Mask: 0b11, Addrs: addrs[0:3:3], Dep1: 0, Dep2: -1, Size: 8},
+			{PC: 0x48, Mask: 0b01, Addrs: addrs[3:4:4], Dep1: 1, Dep2: -1, Size: 4},
+		},
+		ScalarOps:    5,
+		BatchSize:    32,
+		PathSwitches: 1,
+	}
+}
+
+// TestResultClone verifies the cache's ownership contract: a clone
+// equals its source field for field but shares no memory with it, so
+// reusing the source's Scratch cannot corrupt the clone.
+func TestResultClone(t *testing.T) {
+	src := cloneFixture()
+	c := src.Clone()
+	if !reflect.DeepEqual(src, c) {
+		t.Fatalf("clone differs from source:\n%+v\n%+v", src, c)
+	}
+	if &src.Ops[0] == &c.Ops[0] {
+		t.Fatal("clone shares the Ops array")
+	}
+	for i := range src.Ops {
+		if src.Ops[i].Addrs != nil && &src.Ops[i].Addrs[0] == &c.Ops[i].Addrs[0] {
+			t.Fatalf("op %d shares its Addrs backing array", i)
+		}
+	}
+	// Scratch-reuse simulation: scribbling over the source must leave
+	// the clone untouched.
+	want := src.Clone()
+	for i := range src.Ops {
+		src.Ops[i].PC = 0xdead
+		for j := range src.Ops[i].Addrs {
+			src.Ops[i].Addrs[j] = 0xdead
+		}
+	}
+	if !reflect.DeepEqual(want, c) {
+		t.Fatal("mutating the source changed the clone")
+	}
+
+	// If Result grows a field, Clone (and this test) must learn about
+	// it; a stale Clone would silently drop data from cached streams.
+	if n := reflect.TypeOf(Result{}).NumField(); n != 4 {
+		t.Fatalf("Result has %d fields; update Clone and RetainedBytes for the new ones", n)
+	}
+}
+
+func TestResultRetainedBytes(t *testing.T) {
+	src := cloneFixture()
+	want := int64(unsafe.Sizeof(BatchOp{}))*3 + 8*4
+	if got := src.RetainedBytes(); got != want {
+		t.Fatalf("RetainedBytes = %d, want %d", got, want)
+	}
+	if got := src.Clone().RetainedBytes(); got != want {
+		t.Fatalf("clone RetainedBytes = %d, want %d", got, want)
+	}
+}

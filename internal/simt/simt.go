@@ -9,6 +9,7 @@ package simt
 import (
 	"fmt"
 	"math/bits"
+	"unsafe"
 
 	"simr/internal/isa"
 )
@@ -53,6 +54,48 @@ type Result struct {
 	BatchSize int
 	// PathSwitches counts spin-timeout multi-path preemptions.
 	PathSwitches int
+}
+
+// Clone returns a deep copy of the result that shares no memory with
+// the receiver. Results produced through the *With executors alias
+// their Scratch (Ops and every BatchOp.Addrs) and are invalidated by
+// the next run on the same scratch; consumers that must outlive that —
+// caching layers, deferred pipelines — clone first. The Addrs vectors
+// are flattened into one arena so the copy costs two allocations
+// regardless of op count.
+func (r *Result) Clone() *Result {
+	c := &Result{
+		Ops:          make([]BatchOp, len(r.Ops)),
+		ScalarOps:    r.ScalarOps,
+		BatchSize:    r.BatchSize,
+		PathSwitches: r.PathSwitches,
+	}
+	copy(c.Ops, r.Ops)
+	words := 0
+	for i := range r.Ops {
+		words += len(r.Ops[i].Addrs)
+	}
+	arena := make([]uint64, 0, words)
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		if op.Addrs == nil {
+			continue
+		}
+		l := len(arena)
+		arena = append(arena, op.Addrs...)
+		op.Addrs = arena[l:len(arena):len(arena)]
+	}
+	return c
+}
+
+// RetainedBytes returns the memory a cloned copy of the result would
+// retain: the op array plus the flattened per-thread address vectors.
+func (r *Result) RetainedBytes() int64 {
+	words := 0
+	for i := range r.Ops {
+		words += len(r.Ops[i].Addrs)
+	}
+	return int64(unsafe.Sizeof(BatchOp{}))*int64(len(r.Ops)) + 8*int64(words)
 }
 
 // Efficiency returns SIMT control efficiency:

@@ -128,7 +128,9 @@ type Cache struct {
 	hits     atomic.Uint64
 	misses   atomic.Uint64
 	bypassed atomic.Uint64
+	drops    atomic.Uint64
 	bytes    atomic.Int64
+	bytesHWM atomic.Int64
 
 	// Optional observability mirrors (nil no-ops when the obs hub was
 	// not installed at construction time). The counters aggregate over
@@ -154,10 +156,14 @@ func NewCache(svc *uservices.Service, budget *Budget) *Cache {
 	return c
 }
 
-// Stats reports cache effectiveness counters.
+// Stats reports cache effectiveness counters. BytesHWM is the
+// retained-bytes high-water mark over the cache's lifetime (Bytes drops
+// back to zero after Drop; the HWM records how much of the budget the
+// cache actually used) and Drops counts Drop calls that found a live
+// map.
 type Stats struct {
-	Hits, Misses, Bypassed uint64
-	Bytes                  int64
+	Hits, Misses, Bypassed, Drops uint64
+	Bytes, BytesHWM               int64
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -169,7 +175,9 @@ func (c *Cache) Stats() Stats {
 		Hits:     c.hits.Load(),
 		Misses:   c.misses.Load(),
 		Bypassed: c.bypassed.Load(),
+		Drops:    c.drops.Load(),
 		Bytes:    c.bytes.Load(),
+		BytesHWM: c.bytesHWM.Load(),
 	}
 }
 
@@ -247,7 +255,9 @@ func (c *Cache) Request(req *uservices.Request, tid int, stackBase uint64, polic
 		retained = c.m != nil && c.m[k] == e
 		c.mu.Unlock()
 		if retained {
-			c.obsBytesHWM.SetMax(c.bytes.Add(cost))
+			now := c.bytes.Add(cost)
+			storeMax(&c.bytesHWM, now)
+			c.obsBytesHWM.SetMax(now)
 			e.retained = true
 		} else {
 			c.budget.release(cost)
@@ -322,6 +332,7 @@ func (c *Cache) Drop() {
 	}
 	c.bytes.Add(-freed)
 	c.budget.release(freed)
+	c.drops.Add(1)
 	c.obsDrops.Inc()
 	c.obsDroppedBytes.Add(freed)
 }

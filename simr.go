@@ -87,6 +87,24 @@ const PrepAuto = core.PrepAuto
 // byte-identical at any value; only wall-clock changes.
 func SetPrepLookahead(n int) { core.SetPrepLookahead(n) }
 
+// SetTraceCaching toggles the sweep-wide scalar per-request trace
+// cache the parallel studies consult (default on). Results are
+// byte-identical either way; only wall-clock changes.
+func SetTraceCaching(on bool) { core.SetTraceCaching(on) }
+
+// SetBatchCaching toggles the sweep-wide batch-stream cache that
+// memoizes the post-merge prep product — merged uop streams, MCU
+// deltas and op counts — across the sweep cells that share a workload
+// (default on). Results are byte-identical either way; only
+// wall-clock changes.
+func SetBatchCaching(on bool) { core.SetBatchCaching(on) }
+
+// SetCacheBudget caps the bytes the scalar and batch prep caches may
+// retain per sweep, shared across both; bytes <= 0 restores the
+// default (512 MiB). Over-budget builds are returned uncached, so the
+// budget bounds memory without changing results.
+func SetCacheBudget(bytes int64) { core.SetCacheBudget(bytes) }
+
 // Re-exported sampled-simulation types (see internal/sample).
 type (
 	// SampleConfig selects SMARTS-style sampled timing simulation for
@@ -210,6 +228,35 @@ type MultiBatchRow = core.MultiBatchRow
 func MultiBatchSweep(suite *Suite, seed int64, workers int) ([]MultiBatchRow, error) {
 	return core.MultiBatchSweep(suite, seed, workers)
 }
+
+// TimingVariant is one timing-only RPU design point of a timing sweep.
+type TimingVariant = core.TimingVariant
+
+// TimingRow is one service's results across the timing variants.
+type TimingRow = core.TimingRow
+
+// DefaultTimingVariants returns the eight timing-only RPU design
+// points (lanes × majority voting × L3 atomics) whose prep work is
+// identical — the sweep the batch-stream cache collapses to one prep
+// per batch.
+func DefaultTimingVariants() []TimingVariant { return core.DefaultTimingVariants() }
+
+// TimingSweep runs every service through the timing-variant grid
+// sequentially.
+func TimingSweep(suite *Suite, requests int, seed int64) ([]TimingRow, error) {
+	return core.TimingSweep(suite, requests, seed)
+}
+
+// TimingSweepParallel is TimingSweep on a worker pool. Rows are
+// identical to the sequential sweep for the same seed.
+func TimingSweepParallel(suite *Suite, requests int, seed int64, workers int) ([]TimingRow, error) {
+	return core.TimingSweepParallel(suite, requests, seed, workers)
+}
+
+// WriteTimingSweep renders the timing-variant report (per-variant
+// geomean latency and requests/joule ratios against the first
+// variant).
+func WriteTimingSweep(w io.Writer, rows []TimingRow) { core.WriteTimingSweep(w, rows) }
 
 // DefaultSystemConfig returns the Figure 22 end-to-end scenario.
 func DefaultSystemConfig() SystemConfig { return queuesim.DefaultConfig() }
