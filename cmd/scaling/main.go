@@ -11,14 +11,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"simr/internal/cacheflag"
 	"simr/internal/core"
+	"simr/internal/dist"
+	"simr/internal/distflag"
 	"simr/internal/obsflag"
 	"simr/internal/prof"
 	"simr/internal/sampleflag"
@@ -36,12 +41,17 @@ func main() {
 	cacheFlags := cacheflag.Add(flag.CommandLine)
 	obsFlags := obsflag.Add(flag.CommandLine)
 	sampleFlags := sampleflag.Add(flag.CommandLine)
+	distFlags := distflag.Add(flag.CommandLine)
 	flag.Parse()
 	core.SetPrepLookahead(*lookahead)
 	cacheFlags.Setup()
 	if _, err := sampleFlags.Setup(); err != nil {
 		log.Fatal(err)
 	}
+
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	core.SetInterrupt(ctx)
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -51,9 +61,21 @@ func main() {
 	obsFlags.Setup()
 	defer obsFlags.Close()
 
-	if *bench {
-		benchSweep(*requests, *seed, *parallel)
+	if ran, err := distFlags.HandleWorker(ctx); ran {
+		if err != nil {
+			obsFlags.Close()
+			stopProf()
+			log.Fatal(err)
+		}
 		return
+	}
+
+	if *bench {
+		benchSweep(ctx, distFlags, *requests, *seed, *parallel)
+		return
+	}
+	if distFlags.Active() {
+		log.Fatal("-dist only applies to -bench (Figure 5 has no sweep to distribute)")
 	}
 
 	fmt.Println("Figure 5: off-chip DRAM bandwidth and thread scaling")
@@ -61,10 +83,11 @@ func main() {
 	fmt.Println("\n(paper: up to 256 threads/socket with DDR5, 512 with DDR6/HBM)")
 }
 
-// benchSweep runs the chip study twice — one worker, then the requested
-// pool — verifies the rendered figures match byte for byte, and reports
-// the wall-clock ratio.
-func benchSweep(requests int, seed int64, parallel int) {
+// benchSweep runs the chip study twice — one worker, then either the
+// requested goroutine pool or (with -dist) the dispatcher tier —
+// verifies the rendered figures match byte for byte, and reports the
+// wall-clock ratio.
+func benchSweep(ctx context.Context, distFlags *distflag.Flags, requests int, seed int64, parallel int) {
 	if parallel <= 0 {
 		parallel = core.DefaultWorkers()
 	}
@@ -87,17 +110,34 @@ func benchSweep(requests int, seed int64, parallel int) {
 	}
 	seqDur := time.Since(t0)
 
+	var (
+		parRows []core.ChipRow
+		parTag  string
+	)
 	t1 := time.Now()
-	parRows, err := core.ChipStudyParallel(suite, requests, seed, false, parallel)
-	if err != nil {
-		log.Fatal(err)
+	if distFlags.Active() {
+		spec := dist.SweepSpec{Studies: []dist.StudySpec{{
+			Kind: dist.StudyChip, Requests: requests, Seed: seed,
+		}}}
+		res, err := distFlags.Run(ctx, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parRows = res.Studies[0].Chip
+		parTag = fmt.Sprintf("dist (%s)", distFlags.Mode())
+	} else {
+		parRows, err = core.ChipStudyParallel(suite, requests, seed, false, parallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parTag = fmt.Sprintf("parallel (%d workers)", parallel)
 	}
 	parDur := time.Since(t1)
 
 	seqOut, parOut := render(seqRows), render(parRows)
 	fmt.Printf("chip study, %d requests/service, seed %d\n", requests, seed)
 	fmt.Printf("  sequential (1 worker):   %v\n", seqDur.Round(time.Millisecond))
-	fmt.Printf("  parallel  (%2d workers):  %v\n", parallel, parDur.Round(time.Millisecond))
+	fmt.Printf("  %-24s %v\n", parTag+":", parDur.Round(time.Millisecond))
 	fmt.Printf("  speedup:                 %.2fx\n", float64(seqDur)/float64(parDur))
 	if bytes.Equal(seqOut, parOut) {
 		fmt.Println("  outputs:                 byte-identical")

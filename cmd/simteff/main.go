@@ -16,6 +16,7 @@ import (
 
 	"simr/internal/core"
 	"simr/internal/obsflag"
+	"simr/internal/prof"
 	"simr/internal/sampleflag"
 	"simr/internal/uservices"
 )
@@ -25,12 +26,19 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload random seed")
 	fig := flag.Int("fig", 11, "figure to print: 4 (naive only) or 11 (all policies)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = one per CPU, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	obsFlags := obsflag.Add(flag.CommandLine)
 	sampleFlags := sampleflag.Add(flag.CommandLine)
 	flag.Parse()
 	if _, err := sampleFlags.Setup(); err != nil {
 		log.Fatal(err)
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	obsFlags.Setup()
 	defer obsFlags.Close()
 

@@ -6,9 +6,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"simr/internal/core"
 	"simr/internal/obs"
@@ -44,6 +48,11 @@ func main() {
 	if _, err := sampleFlags.Setup(); err != nil {
 		log.Fatal(err)
 	}
+	// SIGINT/SIGTERM cancel the sweep between cells so profiles and
+	// metrics snapshots still flush.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	core.SetInterrupt(ctx)
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		log.Fatal(err)

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -20,6 +21,34 @@ import (
 // DefaultWorkers is the worker count used when a study is given
 // workers <= 0: one per available CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// interruptCtx is the process-wide cancellation context the drivers
+// install via SetInterrupt (SIGINT/SIGTERM). RunCells polls it between
+// cells, so a signal aborts a sweep at the next cell boundary instead
+// of truncating output mid-row, and partial distributed checkpoints
+// stay flushed.
+var interruptCtx atomic.Pointer[context.Context]
+
+// SetInterrupt installs a cancellation context that every subsequent
+// RunCells invocation honors: when ctx is done, sweeps abort with
+// ctx.Err() at the next cell boundary. Drivers call it once with a
+// signal.NotifyContext; a nil ctx clears it.
+func SetInterrupt(ctx context.Context) {
+	if ctx == nil {
+		interruptCtx.Store(nil)
+		return
+	}
+	interruptCtx.Store(&ctx)
+}
+
+// interrupted returns the installed context's error, or nil when no
+// context is installed or it is still live.
+func interrupted() error {
+	if p := interruptCtx.Load(); p != nil {
+		return (*p).Err()
+	}
+	return nil
+}
 
 // RunCells evaluates fn(0..n-1) on a pool of workers and returns the
 // results in input order. workers <= 0 selects DefaultWorkers;
@@ -42,6 +71,9 @@ func RunCells[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := interrupted(); err != nil {
+				return nil, err
+			}
 			t0 := po.clock()
 			v, err := fn(i)
 			if err != nil {
@@ -71,7 +103,11 @@ func RunCells[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 					return
 				}
 				t0 := po.clock()
-				v, err := fn(i)
+				var v T
+				err := interrupted()
+				if err == nil {
+					v, err = fn(i)
+				}
 				if err != nil {
 					mu.Lock()
 					if i < errIdx {
@@ -134,6 +170,18 @@ func SetBatchCaching(on bool) { disableBatchCache = !on }
 // trace.DefaultBudgetBytes. Over-budget entries are served but not
 // retained, so results are byte-identical at any budget.
 func SetCacheBudget(bytes int64) { cacheBudgetBytes = bytes }
+
+// TraceCaching reports whether the sweep-wide scalar-trace cache is
+// enabled. The distributed dispatcher reads it to forward the driver's
+// flag state to workers.
+func TraceCaching() bool { return !disableTraceCache }
+
+// BatchCaching reports whether the sweep-wide batch-stream cache is
+// enabled.
+func BatchCaching() bool { return !disableBatchCache }
+
+// CacheBudget returns the pinned cache byte budget (0 = default).
+func CacheBudget() int64 { return cacheBudgetBytes }
 
 // sweepCaches owns one trace.Cache, one trace.BatchCache and one
 // shared request stream per service of a sweep, all drawing on a
@@ -227,28 +275,36 @@ func (sw *sweepCaches) abort() {
 // ChipStudyParallel is ChipStudy on a worker pool: one cell per
 // (service, architecture).
 func ChipStudyParallel(suite *uservices.Suite, requests int, seed int64, withGPU bool, workers int) ([]ChipRow, error) {
+	return ChipStudyOn(suite.Services, requests, seed, withGPU, workers)
+}
+
+// ChipStudyOn is ChipStudyParallel restricted to an explicit service
+// subset: per-service rows are independent, so a subset's rows are
+// byte-identical to the same services' rows in a full-suite run. The
+// distributed worker tier executes per-service tasks through it.
+func ChipStudyOn(svcs []*uservices.Service, requests int, seed int64, withGPU bool, workers int) ([]ChipRow, error) {
 	arches := []Arch{ArchCPU, ArchSMT8, ArchRPU}
 	if withGPU {
 		arches = append(arches, ArchGPU)
 	}
 	na := len(arches)
-	sw := newSweepCaches(suite.Services, na)
-	la := prepBudget(len(suite.Services)*na, workers)
-	cells, err := RunCells(len(suite.Services)*na, workers, func(i int) (*Result, error) {
+	sw := newSweepCaches(svcs, na)
+	la := prepBudget(len(svcs)*na, workers)
+	cells, err := RunCells(len(svcs)*na, workers, func(i int) (*Result, error) {
 		s := i / na
 		defer sw.done(s)
 		opts := DefaultOptions()
 		opts.Traces = sw.cache(s)
 		opts.BatchStreams = sw.batchCache(s)
 		opts.PrepLookahead = la
-		return RunService(arches[i%na], suite.Services[s], sw.requests(s, requests, seed), opts)
+		return RunService(arches[i%na], svcs[s], sw.requests(s, requests, seed), opts)
 	})
 	if err != nil {
 		sw.abort()
 		return nil, err
 	}
-	rows := make([]ChipRow, len(suite.Services))
-	for s, svc := range suite.Services {
+	rows := make([]ChipRow, len(svcs))
+	for s, svc := range svcs {
 		row := ChipRow{Service: svc.Name, CPU: cells[s*na], SMT: cells[s*na+1], RPU: cells[s*na+2]}
 		if withGPU {
 			row.GPU = cells[s*na+3]
@@ -261,6 +317,12 @@ func ChipStudyParallel(suite *uservices.Suite, requests int, seed int64, withGPU
 // EfficiencyStudyParallel is EfficiencyStudy on a worker pool: one
 // cell per (service, policy variant).
 func EfficiencyStudyParallel(suite *uservices.Suite, requests int, seed int64, workers int) ([]EffRow, error) {
+	return EfficiencyStudyOn(suite.Services, requests, seed, workers)
+}
+
+// EfficiencyStudyOn is EfficiencyStudyParallel restricted to an
+// explicit service subset (see ChipStudyOn).
+func EfficiencyStudyOn(svcs []*uservices.Service, requests int, seed int64, workers int) ([]EffRow, error) {
 	variants := []struct {
 		policy batch.Policy
 		ipdom  bool
@@ -271,19 +333,19 @@ func EfficiencyStudyParallel(suite *uservices.Suite, requests int, seed int64, w
 		{batch.PerAPIArgSize, true},
 	}
 	nv := len(variants)
-	sw := newSweepCaches(suite.Services, nv)
-	cells, err := RunCells(len(suite.Services)*nv, workers, func(i int) (float64, error) {
+	sw := newSweepCaches(svcs, nv)
+	cells, err := RunCells(len(svcs)*nv, workers, func(i int) (float64, error) {
 		s := i / nv
 		defer sw.done(s)
 		v := variants[i%nv]
-		return efficiencyOf(suite.Services[s], sw.requests(s, requests, seed), 32, v.policy, v.ipdom, sw.cache(s), sw.batchCache(s))
+		return efficiencyOf(svcs[s], sw.requests(s, requests, seed), 32, v.policy, v.ipdom, sw.cache(s), sw.batchCache(s))
 	})
 	if err != nil {
 		sw.abort()
 		return nil, err
 	}
-	rows := make([]EffRow, len(suite.Services))
-	for s, svc := range suite.Services {
+	rows := make([]EffRow, len(svcs))
+	for s, svc := range svcs {
 		rows[s] = EffRow{
 			Service:     svc.Name,
 			Naive:       cells[s*nv],
@@ -299,14 +361,20 @@ func EfficiencyStudyParallel(suite *uservices.Suite, requests int, seed int64, w
 // (service, configuration) where configuration is the CPU or an RPU
 // batch size.
 func MPKIStudyParallel(suite *uservices.Suite, requests int, seed int64, workers int) ([]MPKIRow, error) {
+	return MPKIStudyOn(suite.Services, requests, seed, workers)
+}
+
+// MPKIStudyOn is MPKIStudyParallel restricted to an explicit service
+// subset (see ChipStudyOn).
+func MPKIStudyOn(svcs []*uservices.Service, requests int, seed int64, workers int) ([]MPKIRow, error) {
 	sizes := []int{32, 16, 8, 4}
 	nc := 1 + len(sizes) // CPU + one per batch size
-	sw := newSweepCaches(suite.Services, nc)
-	la := prepBudget(len(suite.Services)*nc, workers)
-	cells, err := RunCells(len(suite.Services)*nc, workers, func(i int) (*Result, error) {
+	sw := newSweepCaches(svcs, nc)
+	la := prepBudget(len(svcs)*nc, workers)
+	cells, err := RunCells(len(svcs)*nc, workers, func(i int) (*Result, error) {
 		s := i / nc
 		defer sw.done(s)
-		svc := suite.Services[s]
+		svc := svcs[s]
 		reqs := sw.requests(s, requests, seed)
 		opts := DefaultOptions()
 		opts.Traces = sw.cache(s)
@@ -322,8 +390,8 @@ func MPKIStudyParallel(suite *uservices.Suite, requests int, seed int64, workers
 		sw.abort()
 		return nil, err
 	}
-	rows := make([]MPKIRow, len(suite.Services))
-	for s, svc := range suite.Services {
+	rows := make([]MPKIRow, len(svcs))
+	for s, svc := range svcs {
 		row := MPKIRow{Service: svc.Name, CPU: cells[s*nc].L1MPKI(), RPU: map[int]float64{}}
 		for k, size := range sizes {
 			row.RPU[size] = cells[s*nc+1+k].L1MPKI()
@@ -377,10 +445,16 @@ type MultiBatchRow struct {
 // MultiBatchSweep runs MultiBatchStudy for every service in the suite
 // on a worker pool (two tuned-size batches per service).
 func MultiBatchSweep(suite *uservices.Suite, seed int64, workers int) ([]MultiBatchRow, error) {
-	sw := newSweepCaches(suite.Services, 1)
-	cells, err := RunCells(len(suite.Services), workers, func(i int) (*MultiBatchResult, error) {
+	return MultiBatchSweepOn(suite.Services, seed, workers)
+}
+
+// MultiBatchSweepOn is MultiBatchSweep restricted to an explicit
+// service subset (see ChipStudyOn).
+func MultiBatchSweepOn(svcs []*uservices.Service, seed int64, workers int) ([]MultiBatchRow, error) {
+	sw := newSweepCaches(svcs, 1)
+	cells, err := RunCells(len(svcs), workers, func(i int) (*MultiBatchResult, error) {
 		defer sw.done(i)
-		svc := suite.Services[i]
+		svc := svcs[i]
 		opts := DefaultOptions()
 		opts.Traces = sw.cache(i)
 		opts.BatchStreams = sw.batchCache(i)
@@ -390,8 +464,8 @@ func MultiBatchSweep(suite *uservices.Suite, seed int64, workers int) ([]MultiBa
 		sw.abort()
 		return nil, err
 	}
-	rows := make([]MultiBatchRow, len(suite.Services))
-	for i, svc := range suite.Services {
+	rows := make([]MultiBatchRow, len(svcs))
+	for i, svc := range svcs {
 		rows[i] = MultiBatchRow{Service: svc.Name, Res: cells[i]}
 	}
 	return rows, nil

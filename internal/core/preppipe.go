@@ -39,6 +39,17 @@ func SetPrepLookahead(n int) {
 	prepForce.Store(int32(n) + 1)
 }
 
+// PrepLookaheadOverride returns the process-wide lookahead pinned by
+// SetPrepLookahead, or -1 when lookahead derivation is automatic. The
+// distributed dispatcher reads it to forward the driver's flag state
+// to workers.
+func PrepLookaheadOverride() int {
+	if v := prepForce.Load(); v != 0 {
+		return int(v) - 1
+	}
+	return -1
+}
+
 // prepBudget derives the per-cell prep lookahead for a sweep of cells
 // cells on workers outer workers: the inner prep goroutines of all
 // concurrently running cells must not oversubscribe the machine, so

@@ -51,10 +51,16 @@ func (b *sensBase) get(arch Arch, svc *uservices.Service, reqs []uservices.Reque
 	return b.res[arch], b.err[arch]
 }
 
-// sensPair is one ablation's (baseline, variant) measurement.
-type sensPair struct {
-	base, variant *Result
+// SensPair is one ablation's (baseline, variant) measurement. Pairs
+// are exported so the distributed tier can ship per-service grids back
+// to the dispatcher for rendering.
+type SensPair struct {
+	Base, Variant *Result
 }
+
+// SensSections returns the number of ablation sections in the §V-A1
+// sensitivity grid (rows of the SensPairsOn result).
+func SensSections() int { return len(sensMutations) }
 
 // sensMutations lists the §V-A1 ablations in report order; each becomes
 // one row of worker-pool cells.
@@ -85,31 +91,51 @@ func SensitivityStudyParallel(w io.Writer, suite *uservices.Suite, services []st
 	if len(services) == 0 {
 		services = suite.Names()
 	}
-	ns := len(services)
-	svcs := make([]*uservices.Service, ns)
+	svcs := make([]*uservices.Service, len(services))
 	for i, name := range services {
 		svcs[i] = suite.Get(name)
 	}
+	pairs, err := SensPairsOn(svcs, requests, seed, workers)
+	if err != nil {
+		return err
+	}
+	return WriteSensitivity(w, services, pairs)
+}
+
+// SensPairsOn computes the sensitivity grid for an explicit service
+// subset on a worker pool. The result is a flat grid indexed
+// pairs[section*len(svcs)+s], section in report order (SensSections
+// rows). Per-service columns are independent, so a subset's column is
+// byte-identical to the same service's column in a full run.
+func SensPairsOn(svcs []*uservices.Service, requests int, seed int64, workers int) ([]SensPair, error) {
+	ns := len(svcs)
 	sw := newSweepCaches(svcs, len(sensMutations))
 	bases := make([]sensBase, ns)
 	la := prepBudget(len(sensMutations)*ns, workers)
-	pairs, err := RunCells(len(sensMutations)*ns, workers, func(i int) (sensPair, error) {
+	pairs, err := RunCells(len(sensMutations)*ns, workers, func(i int) (SensPair, error) {
 		m := sensMutations[i/ns]
 		s := i % ns
 		defer sw.done(s)
 		reqs := sw.requests(s, requests, seed)
 		b, err := bases[s].get(m.arch, svcs[s], reqs, sw.cache(s), sw.batchCache(s), la)
 		if err != nil {
-			return sensPair{}, err
+			return SensPair{}, err
 		}
 		v, err := runVariant(m.arch, svcs[s], reqs, m.mutate, sw.cache(s), sw.batchCache(s), la)
-		return sensPair{b, v}, err
+		return SensPair{b, v}, err
 	})
 	if err != nil {
 		sw.abort()
-		return err
+		return nil, err
 	}
-	pair := func(section, s int) sensPair { return pairs[section*ns+s] }
+	return pairs, nil
+}
+
+// WriteSensitivity renders the §V-A1 report from a precomputed grid
+// (services[s] names column s of pairs; see SensPairsOn).
+func WriteSensitivity(w io.Writer, services []string, pairs []SensPair) error {
+	ns := len(services)
+	pair := func(section, s int) SensPair { return pairs[section*ns+s] }
 
 	// 1. Sub-batch interleaving: 8 SIMT lanes vs full 32-lane width.
 	fmt.Fprintln(w, "-- sub-batch interleaving: 8 lanes vs full 32 lanes (paper: ~4% loss, up to 10% UniqueID)")
@@ -118,7 +144,7 @@ func SensitivityStudyParallel(w io.Writer, suite *uservices.Suite, services []st
 	for s, name := range services {
 		p := pair(0, s)
 		// base has 8 lanes (default), variant 32.
-		loss := p.base.Latency.Mean()/p.variant.Latency.Mean() - 1
+		loss := p.Base.Latency.Mean()/p.Variant.Latency.Mean() - 1
 		losses = append(losses, loss)
 		fmt.Fprintf(w, "%-18s %13.1f%%\n", name, 100*loss)
 	}
@@ -130,7 +156,7 @@ func SensitivityStudyParallel(w io.Writer, suite *uservices.Suite, services []st
 	var atom []float64
 	for s, name := range services {
 		p := pair(1, s)
-		slow := p.base.Latency.Mean()/p.variant.Latency.Mean() - 1
+		slow := p.Base.Latency.Mean()/p.Variant.Latency.Mean() - 1
 		atom = append(atom, slow)
 		fmt.Fprintf(w, "%-18s %13.1f%%\n", name, 100*slow)
 	}
@@ -143,8 +169,8 @@ func SensitivityStudyParallel(w io.Writer, suite *uservices.Suite, services []st
 	fmt.Fprintf(w, "%-18s %16s %14s\n", "service", "bank conflicts", "latency gain")
 	for s, name := range services {
 		p := pair(2, s)
-		bc := ratioOr1(float64(p.variant.Stats.Mem.L1.BankConflicts), float64(p.base.Stats.Mem.L1.BankConflicts))
-		lg := p.variant.Latency.Mean() / p.base.Latency.Mean()
+		bc := ratioOr1(float64(p.Variant.Stats.Mem.L1.BankConflicts), float64(p.Base.Stats.Mem.L1.BankConflicts))
+		lg := p.Variant.Latency.Mean() / p.Base.Latency.Mean()
 		fmt.Fprintf(w, "%-18s %15.2fx %13.2fx\n", name, bc, lg)
 	}
 	fmt.Fprintln(w)
@@ -154,9 +180,9 @@ func SensitivityStudyParallel(w io.Writer, suite *uservices.Suite, services []st
 	fmt.Fprintf(w, "%-18s %14s %14s\n", "service", "flushes saved", "perf delta")
 	for s, name := range services {
 		p := pair(3, s)
-		fs := ratioOr1(float64(p.variant.Stats.FlushedLanes+p.variant.Stats.Mispredicts),
-			float64(p.base.Stats.FlushedLanes+p.base.Stats.Mispredicts))
-		pd := p.variant.Latency.Mean()/p.base.Latency.Mean() - 1
+		fs := ratioOr1(float64(p.Variant.Stats.FlushedLanes+p.Variant.Stats.Mispredicts),
+			float64(p.Base.Stats.FlushedLanes+p.Base.Stats.Mispredicts))
+		pd := p.Variant.Latency.Mean()/p.Base.Latency.Mean() - 1
 		fmt.Fprintf(w, "%-18s %13.2fx %13.1f%%\n", name, fs, 100*pd)
 	}
 	fmt.Fprintln(w)
@@ -166,7 +192,7 @@ func SensitivityStudyParallel(w io.Writer, suite *uservices.Suite, services []st
 	fmt.Fprintf(w, "%-18s %10s %10s\n", "service", "minsp-pc", "ipdom")
 	for s, name := range services {
 		p := pair(4, s)
-		fmt.Fprintf(w, "%-18s %9.1f%% %9.1f%%\n", name, 100*p.base.SIMTEff, 100*p.variant.SIMTEff)
+		fmt.Fprintf(w, "%-18s %9.1f%% %9.1f%%\n", name, 100*p.Base.SIMTEff, 100*p.Variant.SIMTEff)
 	}
 	fmt.Fprintln(w)
 
@@ -175,7 +201,7 @@ func SensitivityStudyParallel(w io.Writer, suite *uservices.Suite, services []st
 	fmt.Fprintf(w, "%-18s %14s\n", "service", "L1 traffic x")
 	for s, name := range services {
 		p := pair(5, s)
-		tr := ratioOr1(p.variant.L1AccessesPerRequest(), p.base.L1AccessesPerRequest())
+		tr := ratioOr1(p.Variant.L1AccessesPerRequest(), p.Base.L1AccessesPerRequest())
 		fmt.Fprintf(w, "%-18s %13.2fx\n", name, tr)
 	}
 	fmt.Fprintln(w)
@@ -187,8 +213,8 @@ func SensitivityStudyParallel(w io.Writer, suite *uservices.Suite, services []st
 	for s, name := range services {
 		p := pair(6, s)
 		fmt.Fprintf(w, "%-18s %9.1f%% %11.1f%%\n", name,
-			100*(p.base.Latency.Mean()/p.variant.Latency.Mean()-1),
-			100*p.variant.Stats.Mem.PF.Accuracy())
+			100*(p.Base.Latency.Mean()/p.Variant.Latency.Mean()-1),
+			100*p.Variant.Stats.Mem.PF.Accuracy())
 	}
 	return nil
 }

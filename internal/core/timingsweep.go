@@ -61,11 +61,19 @@ type TimingRow struct {
 // streams prepared for the first cell of a service are replayed by the
 // remaining seven from the cache.
 func TimingSweepParallel(suite *uservices.Suite, requests int, seed int64, workers int) ([]TimingRow, error) {
+	return TimingSweepOn(suite.Services, requests, seed, workers)
+}
+
+// TimingSweepOn is TimingSweepParallel restricted to an explicit
+// service subset: per-service rows are independent, so a subset's rows
+// are byte-identical to the same services' rows in a full-suite run.
+// The distributed worker tier executes per-service tasks through it.
+func TimingSweepOn(svcs []*uservices.Service, requests int, seed int64, workers int) ([]TimingRow, error) {
 	variants := DefaultTimingVariants()
 	nv := len(variants)
-	sw := newSweepCaches(suite.Services, nv)
-	la := prepBudget(len(suite.Services)*nv, workers)
-	cells, err := RunCells(len(suite.Services)*nv, workers, func(i int) (*Result, error) {
+	sw := newSweepCaches(svcs, nv)
+	la := prepBudget(len(svcs)*nv, workers)
+	cells, err := RunCells(len(svcs)*nv, workers, func(i int) (*Result, error) {
 		s := i / nv
 		defer sw.done(s)
 		opts := DefaultOptions()
@@ -73,7 +81,7 @@ func TimingSweepParallel(suite *uservices.Suite, requests int, seed int64, worke
 		opts.BatchStreams = sw.batchCache(s)
 		opts.PrepLookahead = la
 		variants[i%nv].Mutate(&opts)
-		return RunService(ArchRPU, suite.Services[s], sw.requests(s, requests, seed), opts)
+		return RunService(ArchRPU, svcs[s], sw.requests(s, requests, seed), opts)
 	})
 	if err != nil {
 		sw.abort()
@@ -83,8 +91,8 @@ func TimingSweepParallel(suite *uservices.Suite, requests int, seed int64, worke
 	for v, tv := range variants {
 		names[v] = tv.Name
 	}
-	rows := make([]TimingRow, len(suite.Services))
-	for s, svc := range suite.Services {
+	rows := make([]TimingRow, len(svcs))
+	for s, svc := range svcs {
 		rows[s] = TimingRow{Service: svc.Name, Variants: names, Res: cells[s*nv : (s+1)*nv]}
 	}
 	return rows, nil

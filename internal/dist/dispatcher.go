@@ -1,0 +1,442 @@
+// The dispatcher owns the task queue. Worker connections register via
+// a schema-hashed handshake, then pull tasks one at a time; the
+// dispatcher pings idle-waiting connections and requeues the in-flight
+// task of any worker that stops answering or drops its connection.
+// Dispatch order is bounded by a reorder window — task i is only
+// handed out while i < firstIncomplete+window — so out-of-order
+// completion buffering stays bounded and the final reassembly (always
+// in task-ID order) is byte-identical to the single-process sweep.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"simr/internal/uservices"
+)
+
+// task dispatch states.
+const (
+	statePending uint8 = iota
+	stateInflight
+	stateDone
+)
+
+// DispatcherOptions tunes a dispatcher run.
+type DispatcherOptions struct {
+	// Addr is the TCP listen address ("" = 127.0.0.1:0).
+	Addr string
+	// Window bounds dispatch-ahead: task i is only dispatched while
+	// i < firstIncomplete+Window (<= 0 selects 64).
+	Window int
+	// Journal is the checkpoint file path ("" disables journaling).
+	Journal string
+	// Resume loads completed tasks from an existing journal instead of
+	// truncating it.
+	Resume bool
+	// HeartbeatEvery is the ping interval towards a worker that owes a
+	// result (<= 0 selects 1s); a worker silent for 10 intervals is
+	// declared lost and its task requeued.
+	HeartbeatEvery time.Duration
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (o *DispatcherOptions) window() int {
+	if o.Window <= 0 {
+		return 64
+	}
+	return o.Window
+}
+
+func (o *DispatcherOptions) heartbeat() time.Duration {
+	if o.HeartbeatEvery <= 0 {
+		return time.Second
+	}
+	return o.HeartbeatEvery
+}
+
+// lostAfter is the number of silent heartbeat intervals after which a
+// worker is declared dead.
+const lostAfter = 10
+
+// Dispatcher shards one sweep over registered workers.
+type Dispatcher struct {
+	spec  SweepSpec
+	cfg   SweepConfig
+	opts  DispatcherOptions
+	suite *uservices.Suite
+	tasks []Task
+	ln    net.Listener
+	jr    *journal
+	po    *dispObs
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	state    []uint8
+	results  []*TaskResult
+	done     int
+	firstInc int
+	inflight int
+	nworkers int
+	closed   bool
+	err      error
+	conns    map[net.Conn]struct{}
+	handlers sync.WaitGroup
+}
+
+// NewDispatcher validates the sweep, prepares (or resumes) the
+// journal and binds the listener. Call Run to serve workers; Addr
+// reports the bound address (useful with Addr "127.0.0.1:0").
+func NewDispatcher(spec SweepSpec, cfg SweepConfig, opts DispatcherOptions) (*Dispatcher, error) {
+	suite := uservices.NewSuite()
+	tasks, err := spec.Tasks(suite)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dispatcher{
+		spec:    spec,
+		cfg:     cfg,
+		opts:    opts,
+		suite:   suite,
+		tasks:   tasks,
+		state:   make([]uint8, len(tasks)),
+		results: make([]*TaskResult, len(tasks)),
+		conns:   map[net.Conn]struct{}{},
+		po:      dispProbe(),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	if opts.Journal != "" {
+		sh, err := sweepHash(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		hdr := journalHeader{Magic: journalMagic, Proto: ProtoVersion, Schema: SchemaHash(), Sweep: sh, Tasks: len(tasks)}
+		if opts.Resume {
+			jr, doneRes, err := openJournal(opts.Journal, hdr)
+			if err != nil {
+				return nil, err
+			}
+			d.jr = jr
+			for id, r := range doneRes {
+				d.results[id] = r
+				d.state[id] = stateDone
+				d.done++
+			}
+			for d.firstInc < len(d.tasks) && d.state[d.firstInc] == stateDone {
+				d.firstInc++
+			}
+			d.po.journalResumed(len(doneRes))
+			d.logf("dist: resumed %d/%d tasks from %s", d.done, len(tasks), opts.Journal)
+		} else {
+			jr, err := createJournal(opts.Journal, hdr)
+			if err != nil {
+				return nil, err
+			}
+			d.jr = jr
+		}
+	}
+	addr := opts.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if d.jr != nil {
+			d.jr.Close()
+		}
+		return nil, err
+	}
+	d.ln = ln
+	return d, nil
+}
+
+// Addr returns the dispatcher's bound listen address.
+func (d *Dispatcher) Addr() string { return d.ln.Addr().String() }
+
+func (d *Dispatcher) logf(format string, args ...any) {
+	if d.opts.Logf != nil {
+		d.opts.Logf(format, args...)
+	}
+}
+
+// Run serves workers until every task completes (or ctx is cancelled /
+// a task fails), then reassembles the sweep result. Completed tasks
+// are journaled before they count, so cancellation leaves a resumable
+// checkpoint.
+func (d *Dispatcher) Run(ctx context.Context) (*SweepResult, error) {
+	stop := context.AfterFunc(ctx, func() { d.fail(ctx.Err()) })
+	defer stop()
+	go d.acceptLoop()
+
+	d.mu.Lock()
+	for d.done < len(d.tasks) && d.err == nil {
+		d.cond.Wait()
+	}
+	err := d.err
+	d.closed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+
+	d.ln.Close()
+	d.handlers.Wait()
+	if d.jr != nil {
+		d.jr.Close()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return assemble(d.spec, d.suite, d.tasks, d.results)
+}
+
+// fail aborts the sweep with err (first failure wins).
+func (d *Dispatcher) fail(err error) {
+	if err == nil {
+		return
+	}
+	d.mu.Lock()
+	if d.err == nil && d.done < len(d.tasks) {
+		d.err = err
+	}
+	d.cond.Broadcast()
+	for c := range d.conns {
+		c.Close()
+	}
+	d.mu.Unlock()
+}
+
+func (d *Dispatcher) acceptLoop() {
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return // listener closed by Run
+		}
+		d.mu.Lock()
+		if d.closed || d.err != nil {
+			d.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		d.conns[conn] = struct{}{}
+		d.handlers.Add(1)
+		d.mu.Unlock()
+		go func() {
+			defer d.handlers.Done()
+			d.serve(conn)
+			d.mu.Lock()
+			delete(d.conns, conn)
+			d.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// frame is one received frame (or a terminal read error).
+type frame struct {
+	kind    msgKind
+	payload []byte
+	err     error
+}
+
+// serve drives one worker connection: handshake, then a pull loop of
+// task dispatch and result awaiting with heartbeat supervision.
+func (d *Dispatcher) serve(conn net.Conn) {
+	name, err := d.handshake(conn)
+	if err != nil {
+		d.logf("dist: handshake with %s failed: %v", conn.RemoteAddr(), err)
+		return
+	}
+	d.mu.Lock()
+	d.nworkers++
+	n := d.nworkers
+	d.mu.Unlock()
+	d.po.workerJoined(n)
+	d.logf("dist: worker %s registered (%d connected)", name, n)
+
+	frames := make(chan frame, 4)
+	go func() {
+		for {
+			k, p, err := readFrame(conn)
+			if err != nil {
+				frames <- frame{err: err}
+				return
+			}
+			frames <- frame{kind: k, payload: p}
+		}
+	}()
+
+	defer func() {
+		d.mu.Lock()
+		d.nworkers--
+		d.mu.Unlock()
+	}()
+	for {
+		id, ok := d.nextTask()
+		if !ok {
+			writeFrame(conn, kindDone, Done{})
+			return
+		}
+		if err := writeFrame(conn, kindTask, d.tasks[id]); err != nil {
+			d.requeue(id, name, err)
+			return
+		}
+		if err := d.await(conn, frames, id, name); err != nil {
+			d.requeue(id, name, err)
+			return
+		}
+	}
+}
+
+// handshake validates a worker's Hello and sends the sweep.
+func (d *Dispatcher) handshake(conn net.Conn) (string, error) {
+	conn.SetReadDeadline(time.Now().Add(10 * d.opts.heartbeat()))
+	k, p, err := readFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		return "", err
+	}
+	if k != kindHello {
+		return "", fmt.Errorf("expected hello, got frame kind %d", k)
+	}
+	var h Hello
+	if err := decodePayload(p, &h); err != nil {
+		return "", err
+	}
+	if h.Proto != ProtoVersion || h.Schema != SchemaHash() {
+		d.po.schemaReject()
+		writeFrame(conn, kindReject, Reject{Reason: fmt.Sprintf(
+			"schema mismatch: dispatcher proto %d schema %s, worker proto %d schema %s — rebuild from the same revision",
+			ProtoVersion, SchemaHash(), h.Proto, h.Schema)})
+		return "", fmt.Errorf("schema mismatch from %q (proto %d, schema %s)", h.Name, h.Proto, h.Schema)
+	}
+	if err := writeFrame(conn, kindWelcome, Welcome{Spec: d.spec, Config: d.cfg}); err != nil {
+		return "", err
+	}
+	if h.Name == "" {
+		h.Name = conn.RemoteAddr().String()
+	}
+	return h.Name, nil
+}
+
+// await waits for task id's result on frames, pinging the worker each
+// heartbeat interval and declaring it lost after lostAfter silent
+// intervals.
+func (d *Dispatcher) await(conn net.Conn, frames <-chan frame, id int, name string) error {
+	t0 := time.Now()
+	lastHeard := t0
+	tick := time.NewTicker(d.opts.heartbeat())
+	defer tick.Stop()
+	var seq int64
+	for {
+		select {
+		case fr := <-frames:
+			if fr.err != nil {
+				return fmt.Errorf("connection lost: %w", fr.err)
+			}
+			lastHeard = time.Now()
+			switch fr.kind {
+			case kindPong:
+				// Liveness only.
+			case kindResult:
+				var r TaskResult
+				if err := decodePayload(fr.payload, &r); err != nil {
+					return fmt.Errorf("result decode: %w", err)
+				}
+				if r.ID != id {
+					return fmt.Errorf("result for task %d while awaiting %d", r.ID, id)
+				}
+				return d.complete(&r, time.Since(t0), name)
+			default:
+				return fmt.Errorf("unexpected frame kind %d", fr.kind)
+			}
+		case <-tick.C:
+			if time.Since(lastHeard) > time.Duration(lostAfter)*d.opts.heartbeat() {
+				return fmt.Errorf("worker silent for %v", time.Since(lastHeard).Round(time.Millisecond))
+			}
+			seq++
+			writeFrame(conn, kindPing, Ping{Seq: seq})
+		}
+	}
+}
+
+// nextTask blocks until a task is dispatchable within the reorder
+// window, the sweep completes, or it fails; ok=false means "send Done
+// and hang up".
+func (d *Dispatcher) nextTask() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.err != nil || d.closed || d.done == len(d.tasks) {
+			return 0, false
+		}
+		limit := d.firstInc + d.opts.window()
+		for id := d.firstInc; id < len(d.tasks) && id < limit; id++ {
+			if d.state[id] == statePending {
+				d.state[id] = stateInflight
+				d.inflight++
+				d.po.taskDispatched(d.inflight)
+				return id, true
+			}
+		}
+		d.cond.Wait()
+	}
+}
+
+// requeue returns a dispatched task to the queue after its worker was
+// lost (connection error, heartbeat timeout or protocol violation).
+func (d *Dispatcher) requeue(id int, name string, cause error) {
+	d.po.workerLost()
+	d.mu.Lock()
+	if d.state[id] == stateInflight {
+		d.state[id] = statePending
+		d.inflight--
+		d.po.taskRequeued()
+		d.logf("dist: worker %s lost (%v); requeued task %d (%s)", name, cause, id, d.tasks[id].Service)
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// complete records one finished task: journal first, then mark done.
+// A duplicate (a task that was requeued and finished twice) is
+// dropped. A task-level simulation error fails the sweep.
+func (d *Dispatcher) complete(r *TaskResult, rtt time.Duration, name string) error {
+	if r.Err != "" {
+		t := d.tasks[r.ID]
+		err := fmt.Errorf("dist: task %d (%s %s) failed on %s: %s", r.ID, d.spec.Studies[t.Study].Kind, t.Service, name, r.Err)
+		d.fail(err)
+		return nil // the connection itself is fine
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state[r.ID] == stateDone {
+		d.po.duplicateResult()
+		return nil
+	}
+	if d.jr != nil {
+		if err := d.jr.append(r); err != nil {
+			err = fmt.Errorf("dist: journal append: %w", err)
+			if d.err == nil {
+				d.err = err
+			}
+			d.cond.Broadcast()
+			return nil
+		}
+		d.po.journalRecord()
+	}
+	if d.state[r.ID] == stateInflight {
+		d.inflight--
+	}
+	d.state[r.ID] = stateDone
+	d.results[r.ID] = r
+	d.done++
+	for d.firstInc < len(d.tasks) && d.state[d.firstInc] == stateDone {
+		d.firstInc++
+	}
+	d.po.taskCompleted(rtt)
+	d.cond.Broadcast()
+	return nil
+}

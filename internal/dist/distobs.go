@@ -1,0 +1,159 @@
+// Observability probes for the distributed tier, following the
+// nil-receiver no-op pattern of core's probes: when no obs hub is
+// installed the probe is nil and every hook is a pointer test.
+//
+// Dispatcher scope "dist.dispatcher": task queue movement (dispatched,
+// completed, requeued, duplicate results), worker churn (joins,
+// losses, schema rejects), journal activity, in-flight and worker
+// high-water marks, and the task RPC round-trip latency histogram.
+// Worker scope "dist.worker" (in the worker process's own registry,
+// e.g. a worker launched with -metrics): tasks run, execution time and
+// result payload bytes.
+package dist
+
+import (
+	"time"
+
+	"simr/internal/obs"
+)
+
+// rpcBoundsNS buckets task round-trip latency from 1ms to ~2min.
+var rpcBoundsNS = []float64{
+	1e6, 1e7, 1e8, 3e8, 1e9, 3e9, 1e10, 3e10, 1.2e11,
+}
+
+// dispObs instruments one dispatcher run.
+type dispObs struct {
+	dispatched *obs.Counter
+	completed  *obs.Counter
+	requeued   *obs.Counter
+	dupes      *obs.Counter
+	joins      *obs.Counter
+	losses     *obs.Counter
+	rejects    *obs.Counter
+	jrecords   *obs.Counter
+	jresumed   *obs.Counter
+	inflight   *obs.Gauge
+	workers    *obs.Gauge
+	rpcNS      *obs.Histogram
+}
+
+// dispProbe resolves the dispatcher instruments, or nil when
+// observability is disabled.
+func dispProbe() *dispObs {
+	if !obs.Enabled() {
+		return nil
+	}
+	sc := obs.Default().Scope("dist.dispatcher")
+	return &dispObs{
+		dispatched: sc.Counter("tasks_dispatched"),
+		completed:  sc.Counter("tasks_completed"),
+		requeued:   sc.Counter("tasks_requeued"),
+		dupes:      sc.Counter("duplicate_results"),
+		joins:      sc.Counter("workers_joined"),
+		losses:     sc.Counter("workers_lost"),
+		rejects:    sc.Counter("schema_rejects"),
+		jrecords:   sc.Counter("journal_records"),
+		jresumed:   sc.Counter("journal_resumed"),
+		inflight:   sc.Gauge("inflight_hwm"),
+		workers:    sc.Gauge("workers_hwm"),
+		rpcNS:      sc.Histogram("task_rtt_ns", rpcBoundsNS),
+	}
+}
+
+func (p *dispObs) taskDispatched(inflight int) {
+	if p == nil {
+		return
+	}
+	p.dispatched.Inc()
+	p.inflight.SetMax(int64(inflight))
+}
+
+func (p *dispObs) taskCompleted(rtt time.Duration) {
+	if p == nil {
+		return
+	}
+	p.completed.Inc()
+	p.rpcNS.Observe(float64(rtt.Nanoseconds()))
+}
+
+func (p *dispObs) taskRequeued() {
+	if p == nil {
+		return
+	}
+	p.requeued.Inc()
+}
+
+func (p *dispObs) duplicateResult() {
+	if p == nil {
+		return
+	}
+	p.dupes.Inc()
+}
+
+func (p *dispObs) workerJoined(workers int) {
+	if p == nil {
+		return
+	}
+	p.joins.Inc()
+	p.workers.SetMax(int64(workers))
+}
+
+func (p *dispObs) workerLost() {
+	if p == nil {
+		return
+	}
+	p.losses.Inc()
+}
+
+func (p *dispObs) schemaReject() {
+	if p == nil {
+		return
+	}
+	p.rejects.Inc()
+}
+
+func (p *dispObs) journalRecord() {
+	if p == nil {
+		return
+	}
+	p.jrecords.Inc()
+}
+
+func (p *dispObs) journalResumed(n int) {
+	if p == nil {
+		return
+	}
+	p.jresumed.Add(int64(n))
+}
+
+// workerObs instruments task execution on the worker side. It is
+// resolved once at RunWorker start against the worker process's own
+// hub, before any per-task registry swap, so per-task snapshots stay
+// scoped to the simulation's instruments.
+type workerObs struct {
+	tasks   *obs.Counter
+	taskNS  *obs.Counter
+	resByte *obs.Counter
+}
+
+func workerProbe() *workerObs {
+	if !obs.Enabled() {
+		return nil
+	}
+	sc := obs.Default().Scope("dist.worker")
+	return &workerObs{
+		tasks:   sc.Counter("tasks_run"),
+		taskNS:  sc.Counter("task_ns"),
+		resByte: sc.Counter("result_bytes"),
+	}
+}
+
+func (p *workerObs) taskDone(d time.Duration, resultBytes int) {
+	if p == nil {
+		return
+	}
+	p.tasks.Inc()
+	p.taskNS.Add(d.Nanoseconds())
+	p.resByte.Add(int64(resultBytes))
+}

@@ -1,0 +1,179 @@
+// On-disk checkpoint journal: a header identifying the sweep (schema
+// hash + sweep hash + task count) followed by one appended,
+// fsync'd record per completed task. A killed dispatcher restarts with
+// -resume: records load back as completed tasks and only the remainder
+// is dispatched. Loading tolerates a truncated tail record (a crash
+// mid-append), which is discarded.
+package dist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// journalMagic identifies the file format; bump the suffix on layout
+// changes.
+const journalMagic = "SIMR-DIST-JOURNAL-1"
+
+// journalHeader pins the journal to one exact sweep: records are only
+// reusable when the binary schema, the sweep definition and the task
+// list all match.
+type journalHeader struct {
+	Magic  string
+	Proto  int
+	Schema string
+	Sweep  string
+	Tasks  int
+}
+
+// sweepHash digests the sweep spec and config so a journal refuses to
+// resume a different sweep.
+func sweepHash(spec SweepSpec, cfg SweepConfig) (string, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(spec); err != nil {
+		return "", err
+	}
+	if err := enc.Encode(cfg); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:8]), nil
+}
+
+// journal is an append-only record file; all writes are fsync'd so a
+// record is durable before the dispatcher treats its task as done.
+type journal struct {
+	f *os.File
+}
+
+// writeRecord appends one length-prefixed gob blob.
+func writeRecord(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b, uint32(len(b)-4))
+	_, err := w.Write(b)
+	return err
+}
+
+// readRecord reads one length-prefixed gob blob into v. A clean EOF at
+// the length prefix returns io.EOF; a short read anywhere else returns
+// io.ErrUnexpectedEOF (the truncated-tail case).
+func readRecord(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameBytes {
+		return fmt.Errorf("dist: bad journal record length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}
+
+// createJournal starts a fresh journal at path, truncating any
+// previous file.
+func createJournal(path string, hdr journalHeader) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeRecord(f, hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &journal{f: f}, nil
+}
+
+// openJournal opens an existing journal for resumption: it verifies
+// the header matches the current sweep, loads every complete record,
+// truncates a torn tail and positions the file for appends. The
+// returned map holds the completed results by task ID.
+func openJournal(path string, want journalHeader) (*journal, map[int]*TaskResult, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	var hdr journalHeader
+	if err := readRecord(f, &hdr); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("dist: journal %s: bad header: %w", path, err)
+	}
+	if hdr != want {
+		f.Close()
+		return nil, nil, fmt.Errorf("dist: journal %s was written by a different sweep or binary (header %+v, want %+v)", path, hdr, want)
+	}
+	done := map[int]*TaskResult{}
+	off, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	for {
+		var r TaskResult
+		err := readRecord(f, &r)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			// Torn tail from a crash mid-append: discard it.
+			if err := f.Truncate(off); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("dist: journal %s: record at offset %d: %w", path, off, err)
+		}
+		if r.ID < 0 || r.ID >= want.Tasks {
+			f.Close()
+			return nil, nil, fmt.Errorf("dist: journal %s: record for task %d outside sweep of %d tasks", path, r.ID, want.Tasks)
+		}
+		rc := r
+		done[r.ID] = &rc
+		if off, err = f.Seek(0, io.SeekCurrent); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &journal{f: f}, done, nil
+}
+
+// append durably records one completed task.
+func (j *journal) append(r *TaskResult) error {
+	if err := writeRecord(j.f, r); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close closes the underlying file.
+func (j *journal) Close() error { return j.f.Close() }

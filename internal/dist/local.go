@@ -1,0 +1,90 @@
+// One-machine multi-process execution: fork this binary N times as
+// workers pointed at a local dispatcher. Every driver that embeds the
+// distflag worker mode (-dist worker -addr ...) can serve as its own
+// worker binary, so RunLocal needs no separate executable.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+)
+
+// WorkerArgs is the standard argv for re-execing the current binary as
+// a worker (the distflag flag names).
+func WorkerArgs(addr string) []string {
+	return []string{"-dist", "worker", "-addr", addr}
+}
+
+// StartWorkers forks n copies of the current executable with the given
+// argv (and optional extra environment). Worker stdout is redirected
+// to stderr so forked workers cannot pollute the dispatcher's study
+// output.
+func StartWorkers(n int, args []string, extraEnv []string) ([]*exec.Cmd, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmds := make([]*exec.Cmd, 0, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if len(extraEnv) > 0 {
+			cmd.Env = append(os.Environ(), extraEnv...)
+		}
+		if err := cmd.Start(); err != nil {
+			StopWorkers(cmds)
+			return nil, fmt.Errorf("dist: start worker %d: %w", i, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	return cmds, nil
+}
+
+// StopWorkers kills and reaps any still-running forked workers.
+func StopWorkers(cmds []*exec.Cmd) {
+	for _, c := range cmds {
+		if c.Process != nil {
+			c.Process.Kill()
+		}
+	}
+	for _, c := range cmds {
+		c.Wait()
+	}
+}
+
+// RunLocal executes the sweep on n forked local worker processes of
+// the current binary: it binds a loopback dispatcher, forks the
+// workers at its address with WorkerArgs (plus extraArgs), runs the
+// sweep and reaps the workers. The caller's binary must implement the
+// distflag worker mode.
+func RunLocal(ctx context.Context, spec SweepSpec, cfg SweepConfig, n int, opts DispatcherOptions, extraArgs ...string) (*SweepResult, error) {
+	if n < 1 {
+		n = 1
+	}
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	d, err := NewDispatcher(spec, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	cmds, err := StartWorkers(n, append(WorkerArgs(d.Addr()), extraArgs...), nil)
+	if err != nil {
+		d.fail(err)
+		d.Run(ctx) // release the listener and handlers
+		return nil, err
+	}
+	res, err := d.Run(ctx)
+	if err != nil {
+		StopWorkers(cmds)
+		return nil, err
+	}
+	// Workers received Done and exit on their own; reap them.
+	for _, c := range cmds {
+		c.Wait()
+	}
+	return res, nil
+}

@@ -1,0 +1,374 @@
+// Task model: a sweep is a list of studies, each expanded into one
+// task per service. Workers execute tasks through the single-process
+// study code restricted to that one service; the dispatcher reassembles
+// the per-service rows in canonical order, which is byte-identical to
+// running the whole study in one process.
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"simr/internal/core"
+	"simr/internal/obs"
+	"simr/internal/sample"
+	"simr/internal/uservices"
+)
+
+// StudyKind selects which paper study a StudySpec runs.
+type StudyKind uint8
+
+const (
+	// StudyChip is the chip-level CPU/SMT/RPU(/GPU) comparison behind
+	// Figures 10/14/19/20/21 and the summary table.
+	StudyChip StudyKind = 1
+	// StudySensitivity is the §V-A1 ablation grid.
+	StudySensitivity StudyKind = 2
+	// StudyEfficiency is the SIMT-efficiency-by-policy study (Fig 15).
+	StudyEfficiency StudyKind = 3
+	// StudyMPKI is the L1 MPKI vs batch size study.
+	StudyMPKI StudyKind = 4
+	// StudyTiming is the RPU timing-knob sweep.
+	StudyTiming StudyKind = 5
+	// StudyMultiBatch is the §III-A multi-batch interleaving study.
+	StudyMultiBatch StudyKind = 6
+)
+
+// String names the kind for logs and errors.
+func (k StudyKind) String() string {
+	switch k {
+	case StudyChip:
+		return "chip"
+	case StudySensitivity:
+		return "sensitivity"
+	case StudyEfficiency:
+		return "efficiency"
+	case StudyMPKI:
+		return "mpki"
+	case StudyTiming:
+		return "timing"
+	case StudyMultiBatch:
+		return "multibatch"
+	}
+	return fmt.Sprintf("study(%d)", uint8(k))
+}
+
+// ParseStudyKind reads a study name as written by StudyKind.String.
+func ParseStudyKind(s string) (StudyKind, error) {
+	for _, k := range []StudyKind{StudyChip, StudySensitivity, StudyEfficiency, StudyMPKI, StudyTiming, StudyMultiBatch} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("dist: unknown study %q (want chip|sensitivity|efficiency|mpki|timing|multibatch)", s)
+}
+
+// StudySpec defines one study of a sweep.
+type StudySpec struct {
+	Kind StudyKind
+	// Services restricts the study to a service subset in the given
+	// order; empty runs the whole suite in canonical order.
+	Services []string
+	Requests int
+	Seed     int64
+	// WithGPU adds the GPU column (StudyChip only).
+	WithGPU bool
+}
+
+// SweepSpec is the full sweep a dispatcher executes: one or more
+// studies, expanded to one task per (study, service).
+type SweepSpec struct {
+	Studies []StudySpec
+}
+
+// SweepConfig carries the process-global simulation knobs from the
+// dispatcher's driver flags to every worker, so a worker reproduces
+// the exact configuration the single-process run would use.
+type SweepConfig struct {
+	// TraceCache/BatchCache/CacheBudget mirror the drivers'
+	// -tracecache/-batchcache/-cachebudget flags.
+	TraceCache  bool
+	BatchCache  bool
+	CacheBudget int64
+	// Lookahead pins the prep-pipeline lookahead (-1 = automatic).
+	Lookahead int
+	// Sample is the sampling config in -sample flag syntax.
+	Sample string
+	// Metrics makes workers capture a per-task obs registry snapshot;
+	// the dispatcher merges them (in task order) into SweepResult.Obs.
+	Metrics bool
+	// TaskWorkers is the RunCells worker count inside one task. The
+	// default 1 runs each task's cells sequentially, which keeps the
+	// per-task registry snapshot deterministic; parallelism comes from
+	// running many workers.
+	TaskWorkers int
+}
+
+// CaptureConfig snapshots the current process-global knobs (as set by
+// the driver's flags) into a SweepConfig for dispatch.
+func CaptureConfig(metrics bool) SweepConfig {
+	return SweepConfig{
+		TraceCache:  core.TraceCaching(),
+		BatchCache:  core.BatchCaching(),
+		CacheBudget: core.CacheBudget(),
+		Lookahead:   core.PrepLookaheadOverride(),
+		Sample:      sample.Default().String(),
+		Metrics:     metrics,
+		TaskWorkers: 1,
+	}
+}
+
+// apply installs the config's knobs process-globally (worker side).
+func (c SweepConfig) apply() error {
+	core.SetTraceCaching(c.TraceCache)
+	core.SetBatchCaching(c.BatchCache)
+	core.SetCacheBudget(c.CacheBudget)
+	core.SetPrepLookahead(c.Lookahead)
+	sc, err := sample.Parse(c.Sample)
+	if err != nil {
+		return err
+	}
+	sample.SetDefault(sc)
+	return nil
+}
+
+// taskWorkers resolves the per-task RunCells worker count.
+func (c SweepConfig) taskWorkers() int {
+	if c.TaskWorkers <= 0 {
+		return 1
+	}
+	return c.TaskWorkers
+}
+
+// Task is one unit of distribution: study Study of the sweep,
+// restricted to one service. IDs are dense and ordered; reassembly by
+// ID restores the single-process row order.
+type Task struct {
+	ID      int
+	Study   int
+	Service string
+}
+
+// TaskResult is one task's serialized outcome. Exactly one study field
+// is set, matching the task's study kind; Err reports a cell failure.
+type TaskResult struct {
+	ID  int
+	Err string
+
+	Chip   *core.ChipRow
+	Sens   []core.SensPair
+	Eff    *core.EffRow
+	MPKI   *core.MPKIRow
+	Timing *core.TimingRow
+	Multi  *core.MultiBatchRow
+
+	// Obs is the task's deterministic-filtered registry snapshot when
+	// SweepConfig.Metrics is set.
+	Obs *obs.Snapshot
+}
+
+// resolveServices returns the study's service list (the whole suite in
+// canonical order when unset).
+func (st *StudySpec) resolveServices(suite *uservices.Suite) []string {
+	if len(st.Services) > 0 {
+		return st.Services
+	}
+	return suite.Names()
+}
+
+// Tasks expands the spec into its ordered task list, validating every
+// service name against the suite (Suite.Get panics on unknown names,
+// so remote input is checked here first).
+func (spec *SweepSpec) Tasks(suite *uservices.Suite) ([]Task, error) {
+	if len(spec.Studies) == 0 {
+		return nil, errors.New("dist: sweep has no studies")
+	}
+	known := map[string]bool{}
+	for _, n := range suite.Names() {
+		known[n] = true
+	}
+	var ts []Task
+	for si := range spec.Studies {
+		st := &spec.Studies[si]
+		for _, name := range st.resolveServices(suite) {
+			if !known[name] {
+				return nil, fmt.Errorf("dist: study %d (%s): unknown service %q", si, st.Kind, name)
+			}
+			ts = append(ts, Task{ID: len(ts), Study: si, Service: name})
+		}
+	}
+	return ts, nil
+}
+
+// executor runs tasks on the worker side.
+type executor struct {
+	suite *uservices.Suite
+	spec  SweepSpec
+	cfg   SweepConfig
+}
+
+func newExecutor(spec SweepSpec, cfg SweepConfig) (*executor, error) {
+	if err := cfg.apply(); err != nil {
+		return nil, err
+	}
+	e := &executor{suite: uservices.NewSuite(), spec: spec, cfg: cfg}
+	// Validate eagerly so a bad spec surfaces at registration, not
+	// mid-sweep.
+	if _, err := spec.Tasks(e.suite); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// run executes one task. Simulation failures are reported in
+// TaskResult.Err (the dispatcher fails the sweep); only local faults
+// (bad task IDs) return an error.
+func (e *executor) run(t Task) (TaskResult, error) {
+	if t.Study < 0 || t.Study >= len(e.spec.Studies) {
+		return TaskResult{}, fmt.Errorf("dist: task %d references study %d of %d", t.ID, t.Study, len(e.spec.Studies))
+	}
+	st := &e.spec.Studies[t.Study]
+	svcs := []*uservices.Service{e.suite.Get(t.Service)}
+	res := TaskResult{ID: t.ID}
+
+	// Per-task metrics: swap in a fresh registry for the duration of
+	// the task. Probes resolve instruments per study call, so the whole
+	// single-process instrumentation lands in the task's registry. With
+	// TaskWorkers=1 the counters are deterministic; the worker filters
+	// wall-clock instruments before shipping.
+	var reg *obs.Registry
+	if e.cfg.Metrics {
+		reg = obs.NewRegistry()
+		obs.Enable(reg, nil)
+		defer obs.Disable()
+	}
+
+	w := e.cfg.taskWorkers()
+	var err error
+	switch st.Kind {
+	case StudyChip:
+		var rows []core.ChipRow
+		if rows, err = core.ChipStudyOn(svcs, st.Requests, st.Seed, st.WithGPU, w); err == nil {
+			res.Chip = &rows[0]
+		}
+	case StudySensitivity:
+		res.Sens, err = core.SensPairsOn(svcs, st.Requests, st.Seed, w)
+	case StudyEfficiency:
+		var rows []core.EffRow
+		if rows, err = core.EfficiencyStudyOn(svcs, st.Requests, st.Seed, w); err == nil {
+			res.Eff = &rows[0]
+		}
+	case StudyMPKI:
+		var rows []core.MPKIRow
+		if rows, err = core.MPKIStudyOn(svcs, st.Requests, st.Seed, w); err == nil {
+			res.MPKI = &rows[0]
+		}
+	case StudyTiming:
+		var rows []core.TimingRow
+		if rows, err = core.TimingSweepOn(svcs, st.Requests, st.Seed, w); err == nil {
+			res.Timing = &rows[0]
+		}
+	case StudyMultiBatch:
+		var rows []core.MultiBatchRow
+		if rows, err = core.MultiBatchSweepOn(svcs, st.Seed, w); err == nil {
+			res.Multi = &rows[0]
+		}
+	default:
+		return TaskResult{}, fmt.Errorf("dist: task %d has unknown study kind %d", t.ID, st.Kind)
+	}
+	if err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	if reg != nil {
+		snap := reg.Snapshot().Deterministic()
+		res.Obs = &snap
+	}
+	return res, nil
+}
+
+// StudyOut is one study's reassembled output.
+type StudyOut struct {
+	Spec StudySpec
+	// Services is the resolved service list (column order of Sens,
+	// row order of the row slices).
+	Services []string
+
+	Chip   []core.ChipRow
+	Sens   []core.SensPair // flat grid [section*len(Services)+s]
+	Eff    []core.EffRow
+	MPKI   []core.MPKIRow
+	Timing []core.TimingRow
+	Multi  []core.MultiBatchRow
+}
+
+// SweepResult is a completed sweep: per-study outputs plus the merged
+// per-task registry snapshot (zero when metrics were off).
+type SweepResult struct {
+	Studies []StudyOut
+	Obs     obs.Snapshot
+}
+
+// assemble reassembles completed task results (indexed by task ID)
+// into per-study outputs, restoring single-process row order.
+func assemble(spec SweepSpec, suite *uservices.Suite, tasks []Task, results []*TaskResult) (*SweepResult, error) {
+	out := &SweepResult{Studies: make([]StudyOut, len(spec.Studies))}
+	for si := range spec.Studies {
+		st := &spec.Studies[si]
+		names := st.resolveServices(suite)
+		so := &out.Studies[si]
+		so.Spec = *st
+		so.Services = names
+		if st.Kind == StudySensitivity {
+			so.Sens = make([]core.SensPair, core.SensSections()*len(names))
+		}
+	}
+	var snaps []obs.Snapshot
+	for _, t := range tasks {
+		r := results[t.ID]
+		if r == nil {
+			return nil, fmt.Errorf("dist: task %d (%s) missing from results", t.ID, t.Service)
+		}
+		so := &out.Studies[t.Study]
+		st := &spec.Studies[t.Study]
+		switch {
+		case st.Kind == StudySensitivity:
+			if len(r.Sens) != core.SensSections() {
+				return nil, fmt.Errorf("dist: task %d returned %d sensitivity sections, want %d", t.ID, len(r.Sens), core.SensSections())
+			}
+			ns := len(so.Services)
+			s := indexOf(so.Services, t.Service)
+			for sec, p := range r.Sens {
+				so.Sens[sec*ns+s] = p
+			}
+		case r.Chip != nil:
+			so.Chip = append(so.Chip, *r.Chip)
+		case r.Eff != nil:
+			so.Eff = append(so.Eff, *r.Eff)
+		case r.MPKI != nil:
+			so.MPKI = append(so.MPKI, *r.MPKI)
+		case r.Timing != nil:
+			so.Timing = append(so.Timing, *r.Timing)
+		case r.Multi != nil:
+			so.Multi = append(so.Multi, *r.Multi)
+		default:
+			return nil, fmt.Errorf("dist: task %d (%s %s) returned no payload", t.ID, st.Kind, t.Service)
+		}
+		if r.Obs != nil {
+			snaps = append(snaps, *r.Obs)
+		}
+	}
+	// Tasks of one study are contiguous and in service order, so the
+	// appends above already restored row order.
+	out.Obs = obs.MergeSnapshots(snaps...)
+	return out, nil
+}
+
+func indexOf(names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -89,6 +90,41 @@ func (s *Sample) Max() float64 {
 		}
 	}
 	return max
+}
+
+// GobEncode serializes the sample for the distributed-sweep wire
+// format. Observations travel in insertion order as raw float64 bits —
+// Mean sums in that order, so a decoded sample reproduces the original
+// byte for byte in every report.
+func (s *Sample) GobEncode() ([]byte, error) {
+	buf := make([]byte, 0, 9+8*len(s.vals))
+	if s.sorted {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(s.vals)))
+	for _, v := range s.vals {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf, nil
+}
+
+// GobDecode restores a sample produced by GobEncode.
+func (s *Sample) GobDecode(b []byte) error {
+	if len(b) < 9 {
+		return fmt.Errorf("stats: sample payload too short (%d bytes)", len(b))
+	}
+	s.sorted = b[0] == 1
+	n := binary.BigEndian.Uint64(b[1:9])
+	if uint64(len(b)-9) != 8*n {
+		return fmt.Errorf("stats: sample payload %d bytes for %d values", len(b), n)
+	}
+	s.vals = make([]float64, n)
+	for i := range s.vals {
+		s.vals[i] = math.Float64frombits(binary.BigEndian.Uint64(b[9+8*i:]))
+	}
+	return nil
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using
