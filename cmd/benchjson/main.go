@@ -176,6 +176,37 @@ type QueuesimEntry struct {
 	Points     []QueuesimPoint `json:"points"`
 }
 
+// GraphPoint is one bundled service graph's CPU-vs-RPU saturation
+// comparison: the highest grid load each system sustains (tail
+// blow-up heuristic, see TailMetrics.Saturated) plus the unloaded p99
+// baselines the heuristic compared against.
+type GraphPoint struct {
+	Graph string `json:"graph"`
+	// CPUSatQPS / RPUSatQPS are the highest grid loads the CPU and RPU
+	// systems sustain without saturating.
+	CPUSatQPS float64 `json:"cpu_sat_qps"`
+	RPUSatQPS float64 `json:"rpu_sat_qps"`
+	// Speedup is RPUSatQPS / CPUSatQPS — the paper's headline
+	// "requests sustained per machine" ratio for this graph.
+	Speedup float64 `json:"speedup"`
+	// CPUBaseP99 / RPUBaseP99 are the p99 latencies (ms) at the lowest
+	// grid load, the baselines for the saturation heuristic.
+	CPUBaseP99 float64 `json:"cpu_base_p99_ms"`
+	RPUBaseP99 float64 `json:"rpu_base_p99_ms"`
+}
+
+// GraphsEntry is one service-graph trajectory point, written to
+// BENCH_graphs.json: per bundled GraphSpec, where the CPU and RPU
+// systems saturate on the shared load grid.
+type GraphsEntry struct {
+	Timestamp  string       `json:"timestamp"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	Seed       int64        `json:"seed"`
+	Seconds    float64      `json:"seconds"`
+	Points     []GraphPoint `json:"points"`
+}
+
 // DistPoint is one worker-count measurement of the distributed-sweep
 // study: wall clock for the whole sweep through the dispatcher plus
 // the byte-equality verdict against the single-process reference.
@@ -320,6 +351,18 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("appended to BENCH_queuesim.json")
+
+	ge := benchGraphs(*seconds, *seed, *workers)
+	ge.Timestamp = stamp
+	ge.GoMaxProcs = entry.GoMaxProcs
+	for _, p := range ge.Points {
+		fmt.Printf("%-22s cpu sat %7.0f qps  rpu sat %7.0f qps  speedup %.2fx\n",
+			"graph-"+p.Graph, p.CPUSatQPS, p.RPUSatQPS, p.Speedup)
+	}
+	if err := appendJSON("BENCH_graphs.json", ge); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("appended to BENCH_graphs.json")
 
 	ccfg, err := sample.Parse(*cacheSample)
 	if err != nil || !ccfg.Sampling() {
@@ -744,7 +787,10 @@ func benchQueuesim(seconds float64, seed int64, workers int) QueuesimEntry {
 		cfg.RPU = mode.rpu
 		cfg.Split = mode.split
 		t0 := time.Now()
-		m := queuesim.RunTail(cfg)
+		m, err := queuesim.RunTail(cfg)
+		if err != nil {
+			return QueuesimPoint{}, err
+		}
 		wall := time.Since(t0).Seconds()
 		return QueuesimPoint{
 			Mode: mode.name, QPS: cfg.QPS,
@@ -760,6 +806,68 @@ func benchQueuesim(seconds float64, seed int64, workers int) QueuesimEntry {
 		log.Fatal(err)
 	}
 	entry.Points = points
+	return entry
+}
+
+// graphLoads is the shared QPS grid for the service-graph saturation
+// study: roughly geometric so it brackets both the CPU knees (15–35
+// kQPS at scale 1) and the RPU knees (60–200 kQPS).
+var graphLoads = []float64{2000, 4000, 8000, 12000, 16000, 24000, 32000,
+	48000, 64000, 96000, 128000, 192000}
+
+// benchGraphs sweeps every bundled GraphSpec over the shared load grid
+// in CPU and RPU (split) mode at scale 1 and records where each system
+// saturates. All cells run through the deterministic parallel sweep;
+// the saturation scan itself is a cheap post-pass over the grid.
+func benchGraphs(seconds float64, seed int64, workers int) GraphsEntry {
+	names := queuesim.GraphNames()
+	modes := []bool{false, true} // rpu?
+	cells := len(names) * len(modes) * len(graphLoads)
+	perMode := len(graphLoads)
+	points, err := core.RunCells(cells, workers, func(i int) (*queuesim.TailMetrics, error) {
+		name := names[i/(len(modes)*perMode)]
+		rpu := modes[i/perMode%len(modes)]
+		spec, err := queuesim.GraphByName(name, queuesim.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		cfg := queuesim.TailConfig{Config: queuesim.DefaultConfig(), Scale: 1, Graph: spec}
+		cfg.QPS = graphLoads[i%perMode]
+		cfg.Seconds = seconds
+		cfg.Warmup = seconds / 4
+		cfg.Drain = 5
+		cfg.Seed = seed
+		cfg.RPU = rpu
+		cfg.Split = rpu
+		return queuesim.RunTail(cfg)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	entry := GraphsEntry{Workers: workers, Seed: seed, Seconds: seconds}
+	// satQPS scans one mode's grid slice ascending: the knee is the
+	// highest load before the first saturated point.
+	satQPS := func(ms []*queuesim.TailMetrics) (float64, float64) {
+		base := ms[0].Latency.Percentile(99)
+		sat := graphLoads[0]
+		for j, m := range ms {
+			if m.Saturated(base) {
+				break
+			}
+			sat = graphLoads[j]
+		}
+		return sat, base
+	}
+	for gi, name := range names {
+		cpu := points[gi*2*perMode : gi*2*perMode+perMode]
+		rpu := points[gi*2*perMode+perMode : (gi+1)*2*perMode]
+		cpuSat, cpuBase := satQPS(cpu)
+		rpuSat, rpuBase := satQPS(rpu)
+		entry.Points = append(entry.Points, GraphPoint{
+			Graph: name, CPUSatQPS: cpuSat, RPUSatQPS: rpuSat,
+			Speedup: rpuSat / cpuSat, CPUBaseP99: cpuBase, RPUBaseP99: rpuBase,
+		})
+	}
 	return entry
 }
 

@@ -22,6 +22,10 @@
 // cache configurations, internally consistent speedup ratios, and
 // byte-identical unsampled outputs.
 //
+// And BENCH_graphs.json trajectories (-graphs): every service-graph
+// entry must carry uniquely named graphs with positive saturation
+// loads and a speedup that equals the recorded RPU/CPU ratio.
+//
 // And BENCH_dist.json trajectories (-dist): every distributed-sweep
 // entry must be wire-versioned (protocol number and schema hash),
 // carry positive wall clocks with self-consistent speedups, and have
@@ -29,7 +33,7 @@
 //
 // Usage:
 //
-//	obscheck [-metrics out.json] [-trace out.trace.json] [-sampling BENCH_sampling.json] [-queuesim BENCH_queuesim.json] [-batchcache BENCH_batchcache.json] [-dist BENCH_dist.json]
+//	obscheck [-metrics out.json] [-trace out.trace.json] [-sampling BENCH_sampling.json] [-queuesim BENCH_queuesim.json] [-graphs BENCH_graphs.json] [-batchcache BENCH_batchcache.json] [-dist BENCH_dist.json]
 package main
 
 import (
@@ -46,11 +50,12 @@ func main() {
 	trace := flag.String("trace", "", "Chrome-trace JSON to validate")
 	sampling := flag.String("sampling", "", "BENCH_sampling.json trajectory to validate")
 	qsim := flag.String("queuesim", "", "BENCH_queuesim.json trajectory to validate")
+	graphs := flag.String("graphs", "", "BENCH_graphs.json trajectory to validate")
 	bcache := flag.String("batchcache", "", "BENCH_batchcache.json trajectory to validate")
 	distT := flag.String("dist", "", "BENCH_dist.json trajectory to validate")
 	flag.Parse()
-	if *metrics == "" && *trace == "" && *sampling == "" && *qsim == "" && *bcache == "" && *distT == "" {
-		log.Fatal("obscheck: give -metrics, -trace, -sampling, -queuesim, -batchcache and/or -dist")
+	if *metrics == "" && *trace == "" && *sampling == "" && *qsim == "" && *graphs == "" && *bcache == "" && *distT == "" {
+		log.Fatal("obscheck: give -metrics, -trace, -sampling, -queuesim, -graphs, -batchcache and/or -dist")
 	}
 	if *metrics != "" {
 		if err := checkMetrics(*metrics); err != nil {
@@ -75,6 +80,12 @@ func main() {
 			log.Fatalf("obscheck: %s: %v", *qsim, err)
 		}
 		fmt.Printf("%s: queuesim trajectory ok\n", *qsim)
+	}
+	if *graphs != "" {
+		if err := checkGraphs(*graphs); err != nil {
+			log.Fatalf("obscheck: %s: %v", *graphs, err)
+		}
+		fmt.Printf("%s: graphs trajectory ok\n", *graphs)
 	}
 	if *bcache != "" {
 		if err := checkBatchCache(*bcache); err != nil {
@@ -346,6 +357,77 @@ func checkQueuesim(path string) error {
 			if p.Events < 1 || p.WallSec <= 0 || p.EventsPerSec <= 0 {
 				return fmt.Errorf("entry %d point %d: events %d wall %v eps %v",
 					i, j, p.Events, p.WallSec, p.EventsPerSec)
+			}
+		}
+	}
+	return nil
+}
+
+// checkGraphs enforces the BENCH_graphs.json schema benchjson writes:
+// an array of service-graph saturation entries, each carrying uniquely
+// named graphs whose saturation loads are positive, whose speedup is
+// exactly the recorded RPU/CPU ratio, and whose baseline percentiles
+// are finite and non-negative.
+func checkGraphs(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var entries []struct {
+		Timestamp  string  `json:"timestamp"`
+		GoMaxProcs int     `json:"gomaxprocs"`
+		Workers    int     `json:"workers"`
+		Seconds    float64 `json:"seconds"`
+		Points     []struct {
+			Graph      string  `json:"graph"`
+			CPUSatQPS  float64 `json:"cpu_sat_qps"`
+			RPUSatQPS  float64 `json:"rpu_sat_qps"`
+			Speedup    float64 `json:"speedup"`
+			CPUBaseP99 float64 `json:"cpu_base_p99_ms"`
+			RPUBaseP99 float64 `json:"rpu_base_p99_ms"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return fmt.Errorf("not a graphs trajectory: %w", err)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no entries recorded")
+	}
+	for i, e := range entries {
+		if e.Timestamp == "" {
+			return fmt.Errorf("entry %d: missing timestamp", i)
+		}
+		if e.GoMaxProcs < 1 {
+			return fmt.Errorf("entry %d: gomaxprocs %d", i, e.GoMaxProcs)
+		}
+		if e.Seconds <= 0 {
+			return fmt.Errorf("entry %d: seconds %v", i, e.Seconds)
+		}
+		if len(e.Points) == 0 {
+			return fmt.Errorf("entry %d: no graph points", i)
+		}
+		seen := map[string]bool{}
+		for j, p := range e.Points {
+			if p.Graph == "" {
+				return fmt.Errorf("entry %d point %d: empty graph name", i, j)
+			}
+			if seen[p.Graph] {
+				return fmt.Errorf("entry %d: duplicate graph %q", i, p.Graph)
+			}
+			seen[p.Graph] = true
+			if p.CPUSatQPS <= 0 || p.RPUSatQPS <= 0 {
+				return fmt.Errorf("entry %d graph %q: saturation loads %v/%v",
+					i, p.Graph, p.CPUSatQPS, p.RPUSatQPS)
+			}
+			want := p.RPUSatQPS / p.CPUSatQPS
+			if math.Abs(p.Speedup-want) > 1e-9*math.Abs(want) {
+				return fmt.Errorf("entry %d graph %q: speedup %v != rpu/cpu %v",
+					i, p.Graph, p.Speedup, want)
+			}
+			for _, v := range []float64{p.CPUBaseP99, p.RPUBaseP99} {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("entry %d graph %q: bad baseline p99 %v", i, p.Graph, v)
+				}
 			}
 		}
 	}

@@ -2,7 +2,10 @@
 // end-to-end p99 tail and average latency for the CPU-based system and
 // the RPU-based system with and without batch splitting, on the User
 // microservice path (WebServer → User → McRouter → Memcached →
-// Storage).
+// Storage). With -graph the tail engine instead sweeps any declarative
+// service graph — a bundled scenario (social, composepost, hotel,
+// media, iot) or a GraphSpec JSON file; -legacy routes the retired
+// hand-coded social dispatch for byte-identity checks.
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"simr/internal/core"
@@ -30,6 +34,8 @@ func main() {
 	composePost := flag.Bool("composepost", false, "sweep the Figure 3 compose-post path instead of the User path")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep (0 = one per CPU, 1 = sequential)")
 	tail := flag.Bool("tail", false, "sweep the tail-at-scale engine (p50/p99/p999, overload policies) instead of the closure simulator")
+	graphName := flag.String("graph", "", "tail mode: service graph to sweep — a bundled name (social|composepost|hotel|media|iot) or a GraphSpec .json file (implies -tail)")
+	legacy := flag.Bool("legacy", false, "tail mode: run the retired hand-coded social-network dispatch instead of the spec executor (byte-identity oracle)")
 	scale := flag.Float64("scale", 100, "tail mode: station-capacity multiplier (100 = the 100x Figure 22 analog)")
 	arrivals := flag.String("arrivals", "poisson", "tail mode: arrival process (poisson|mmpp|diurnal|closed)")
 	users := flag.Int("users", 0, "tail mode: closed-loop population per offered-load point (0 = derive from qps and think time)")
@@ -61,6 +67,10 @@ func main() {
 	obsFlags.Setup()
 	defer obsFlags.Close()
 
+	if *graphName != "" {
+		*tail = true
+	}
+
 	// In tail mode the default sweep ceiling scales with capacity: the
 	// same 70 kQPS grid the 1x sweep uses, times Scale machines.
 	maxSet := false
@@ -87,6 +97,7 @@ func main() {
 	if *tail {
 		tc := tailSweepConfig{
 			seconds: *seconds, seed: *seed, scale: *scale, drain: *drain,
+			legacy:  *legacy,
 			arrivals: queuesim.ArrivalConfig{
 				Process: queuesim.ParseArrivalProcess(*arrivals),
 				Users:   *users, ThinkMs: *think,
@@ -95,6 +106,16 @@ func main() {
 				TimeoutMs: *timeout, MaxRetries: *retries, BackoffMs: *backoff,
 				HedgeMs: *hedge, QueueCap: *qcap,
 			},
+		}
+		if *graphName != "" {
+			if *legacy {
+				log.Fatal("syssim: -legacy runs the hand-coded social graph; it cannot be combined with -graph")
+			}
+			spec, err := loadGraphArg(*graphName)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tc.graph = spec
 		}
 		if err := sweepTail(tc, qps, *parallel); err != nil {
 			log.Fatal(err)
@@ -157,12 +178,23 @@ func main() {
 	}
 }
 
+// loadGraphArg resolves the -graph argument: a .json file is loaded
+// and validated as a GraphSpec, anything else is a bundled name.
+func loadGraphArg(arg string) (*queuesim.GraphSpec, error) {
+	if strings.HasSuffix(arg, ".json") {
+		return queuesim.LoadGraph(arg)
+	}
+	return queuesim.GraphByName(arg, queuesim.DefaultConfig())
+}
+
 // tailSweepConfig carries the tail-mode knobs into the sweep cells.
 type tailSweepConfig struct {
 	seconds  float64
 	seed     int64
 	scale    float64
 	drain    float64
+	graph    *queuesim.GraphSpec
+	legacy   bool
 	arrivals queuesim.ArrivalConfig
 	policy   queuesim.PolicyConfig
 }
@@ -175,8 +207,13 @@ type tailSweepConfig struct {
 // engine's figure of merit) is measured by cmd/benchjson instead,
 // where per-run wall time is expected trajectory data.
 func sweepTail(tc tailSweepConfig, qps []float64, parallel int) error {
-	fmt.Printf("Figure 22 analog at %.0fx scale (tail-at-scale engine, %s arrivals)\n",
-		tc.scale, tc.arrivals.Process)
+	if tc.graph != nil {
+		fmt.Printf("Service graph %q at %.0fx scale (tail-at-scale engine, %s arrivals)\n",
+			tc.graph.Name, tc.scale, tc.arrivals.Process)
+	} else {
+		fmt.Printf("Figure 22 analog at %.0fx scale (tail-at-scale engine, %s arrivals)\n",
+			tc.scale, tc.arrivals.Process)
+	}
 	fmt.Println("(completions attributed by arrival inside the measured window; in-flight")
 	fmt.Println(" work drains past the horizon instead of being censored)")
 	fmt.Println()
@@ -188,11 +225,16 @@ func sweepTail(tc tailSweepConfig, qps []float64, parallel int) error {
 		{"rpu-nosplit", true, false},
 		{"rpu-split", true, true},
 	}
+	if tc.graph != nil && tc.graph.Batch == nil {
+		// A batchless spec has no RPU path; sweep the CPU system only.
+		modes = modes[:1]
+	}
 	np := len(qps)
 	rows, err := core.RunCells(len(modes)*np, parallel, func(i int) (string, error) {
 		mode := modes[i/np]
 		cfg := queuesim.TailConfig{Config: queuesim.DefaultConfig(),
-			Scale: tc.scale, Arrivals: tc.arrivals, Policy: tc.policy}
+			Scale: tc.scale, Arrivals: tc.arrivals, Policy: tc.policy,
+			Graph: tc.graph, Legacy: tc.legacy}
 		cfg.QPS = qps[i%np]
 		cfg.Seconds = tc.seconds
 		cfg.Warmup = tc.seconds / 4
@@ -203,8 +245,12 @@ func sweepTail(tc tailSweepConfig, qps []float64, parallel int) error {
 		if cfg.Arrivals.Process == queuesim.ArrClosed && cfg.Arrivals.Users == 0 {
 			// Size the population so its nominal demand matches this
 			// cell's offered-load column: X = N/(Z+R) with R ~ the
-			// no-load response time.
+			// no-load response time. At least one user, or the engine
+			// rejects the population as degenerate.
 			cfg.Arrivals.Users = int(cfg.QPS * (cfg.Arrivals.ThinkMs + 5) / 1000)
+			if cfg.Arrivals.Users < 1 {
+				cfg.Arrivals.Users = 1
+			}
 		}
 		if obs.Enabled() {
 			cfg.Monitor = &queuesim.Monitor{
@@ -215,7 +261,10 @@ func sweepTail(tc tailSweepConfig, qps []float64, parallel int) error {
 				MinDT: 1.0,
 			}
 		}
-		m := queuesim.RunTail(cfg)
+		m, err := queuesim.RunTail(cfg)
+		if err != nil {
+			return "", err
+		}
 		return fmt.Sprintf("  %9.0f %10.0f %8.2f %8.2f %8.2f %8d %7d %7d %7d %9d %7.1f\n",
 			m.Offered, m.Throughput(), m.Latency.Percentile(50), m.Latency.Percentile(99),
 			m.Latency.Percentile(99.9), m.TimedOut, m.Retried, m.Hedged, m.Rejected,

@@ -61,21 +61,39 @@ func ParseArrivalProcess(s string) ArrivalProcess {
 	}
 }
 
+// Defaults applied by withDefaults to unset (zero-valued) shape
+// parameters.
+const (
+	DefaultBurstMul    = 4.0
+	DefaultBurstFrac   = 0.1
+	DefaultMeanBurstMs = 200.0
+	DefaultDiurnalAmp  = 0.5
+	DefaultThinkMs     = 100.0
+)
+
+// FlatDiurnal requests a zero-amplitude (flat) diurnal shape. The
+// zero value of DiurnalAmp means "unset" and defaults to
+// DefaultDiurnalAmp, so an explicit flat shape needs this sentinel
+// (any negative amplitude behaves the same).
+const FlatDiurnal = -1.0
+
 // ArrivalConfig shapes the arrival process. The zero value is the
 // plain Poisson stream.
 type ArrivalConfig struct {
 	Process ArrivalProcess
 	// MMPP: BurstMul multiplies the calm rate while in the burst state
-	// (default 4); BurstFrac is the long-run fraction of time spent
-	// bursting (default 0.1); MeanBurstMs is the mean burst-state
-	// dwell time (default 200 ms). Calm/burst rates are solved so the
-	// long-run mean rate equals Config.QPS.
+	// (unset → DefaultBurstMul; an explicit 1 keeps the degenerate
+	// constant-rate MMPP); BurstFrac is the long-run fraction of time
+	// spent bursting (default 0.1); MeanBurstMs is the mean
+	// burst-state dwell time (default 200 ms). Calm/burst rates are
+	// solved so the long-run mean rate equals Config.QPS.
 	BurstMul    float64
 	BurstFrac   float64
 	MeanBurstMs float64
 	// Diurnal: rate(t) = QPS * (1 + Amp*sin(2π t/PeriodMs)), Amp in
-	// [0,1] (default 0.5); PeriodMs defaults to the arrival horizon so
-	// one "day" spans the run.
+	// [0,1]. Unset (0) → DefaultDiurnalAmp; use FlatDiurnal (or any
+	// negative value) for an explicitly flat shape. PeriodMs defaults
+	// to the arrival horizon so one "day" spans the run.
 	DiurnalAmp      float64
 	DiurnalPeriodMs float64
 	// Closed loop: Users clients with mean think time ThinkMs
@@ -85,31 +103,33 @@ type ArrivalConfig struct {
 }
 
 // withDefaults fills unset shape parameters; horizonMs is the arrival
-// window, the default diurnal period.
+// window, the default diurnal period. Explicit degenerate values are
+// preserved: BurstMul 0<x≤1 (including exactly 1) stays as given, and
+// a negative DiurnalAmp means an explicitly flat shape (see
+// FlatDiurnal); only true zero values are treated as unset.
 func (a ArrivalConfig) withDefaults(horizonMs float64) ArrivalConfig {
-	if a.BurstMul <= 1 {
-		a.BurstMul = 4
+	if a.BurstMul <= 0 {
+		a.BurstMul = DefaultBurstMul
 	}
 	if a.BurstFrac <= 0 || a.BurstFrac >= 1 {
-		a.BurstFrac = 0.1
+		a.BurstFrac = DefaultBurstFrac
 	}
 	if a.MeanBurstMs <= 0 {
-		a.MeanBurstMs = 200
+		a.MeanBurstMs = DefaultMeanBurstMs
 	}
-	if a.DiurnalAmp < 0 {
+	switch {
+	case a.DiurnalAmp < 0:
 		a.DiurnalAmp = 0
-	}
-	if a.DiurnalAmp == 0 {
-		a.DiurnalAmp = 0.5
-	}
-	if a.DiurnalAmp > 1 {
+	case a.DiurnalAmp == 0:
+		a.DiurnalAmp = DefaultDiurnalAmp
+	case a.DiurnalAmp > 1:
 		a.DiurnalAmp = 1
 	}
 	if a.DiurnalPeriodMs <= 0 {
 		a.DiurnalPeriodMs = horizonMs
 	}
 	if a.ThinkMs <= 0 {
-		a.ThinkMs = 100
+		a.ThinkMs = DefaultThinkMs
 	}
 	return a
 }

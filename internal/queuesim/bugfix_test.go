@@ -104,8 +104,146 @@ func TestRunZeroQPS(t *testing.T) {
 	cfg := DefaultTailConfig()
 	cfg.QPS = 0
 	cfg.Seconds = 1
-	if m := RunTail(cfg); m.Arrived != 0 {
-		t.Fatalf("tail engine with QPS=0 arrived %d", m.Arrived)
+	if _, err := RunTail(cfg); err == nil {
+		t.Fatal("tail engine with QPS=0 must report a config error, not a silent empty run")
+	}
+}
+
+// TestBackoffNoOverflow: the exponential backoff doubles in an integer
+// shift; before the fix `1<<(tries-1)` in int overflowed for deep
+// retry budgets (tries ≥ 64 gave zero or negative backoff — an
+// immediate-retry storm with MaxRetries: 100). The exponent now
+// saturates at 2^16 and MaxBackoffMs caps the wait outright.
+func TestBackoffNoOverflow(t *testing.T) {
+	cfg := tailBase()
+	cfg.Policy = PolicyConfig{TimeoutMs: 10, MaxRetries: 100, BackoffMs: 1}
+	e, err := newTailEngine(cfg)
+	if err != nil {
+		t.Fatalf("newTailEngine: %v", err)
+	}
+	// Jitter is ±20%, so any backoff is within [0.8, 1.2]·d.
+	maxD := 1.2 * cfg.Policy.BackoffMs * float64(int64(1)<<backoffShiftCap)
+	for _, tries := range []uint8{1, 2, 17, 64, 70, 100, 255} {
+		d := e.backoff(tries)
+		if d <= 0 {
+			t.Fatalf("tries=%d: backoff %v ms; overflowed shift collapsed the wait", tries, d)
+		}
+		if d > maxD {
+			t.Fatalf("tries=%d: backoff %v ms exceeds the 2^%d doubling cap %v", tries, d, backoffShiftCap, maxD)
+		}
+	}
+	// Small exponents are bit-identical to the uncapped doubling.
+	for _, tries := range []uint8{1, 2, 3, 10, 17} {
+		want := cfg.Policy.BackoffMs * float64(int64(1)<<(tries-1))
+		d := e.backoff(tries)
+		if d < 0.8*want || d > 1.2*want {
+			t.Fatalf("tries=%d: backoff %v ms outside jitter band of %v ms", tries, d, want)
+		}
+	}
+	// An explicit ceiling binds before the doubling cap.
+	e.pol.MaxBackoffMs = 5
+	for _, tries := range []uint8{4, 100} {
+		if d := e.backoff(tries); d > 1.2*5 {
+			t.Fatalf("tries=%d: backoff %v ms ignores MaxBackoffMs=5", tries, d)
+		}
+	}
+	// And the engine survives a deep-retry overload run: with the
+	// overflow, retries re-issued instantly and the run exploded. The
+	// explicit ceiling keeps the worst retry chain (100 tries × ~16 ms)
+	// inside the drain horizon so conservation can close.
+	cfg.QPS = 25000
+	cfg.Seconds = 1
+	cfg.Warmup = 0.25
+	cfg.Policy.MaxBackoffMs = 5
+	m := mustTail(t, cfg)
+	checkConservation(t, m, "deep-retry")
+	if m.Retried == 0 {
+		t.Fatal("deep retry budget produced no retries")
+	}
+}
+
+// TestArrivalDefaultsPreserveExplicitValues: withDefaults must
+// distinguish unset (zero) from explicit degenerate values. Before the
+// fix BurstMul: 1 was rewritten to 4 (a constant-rate MMPP was
+// unexpressible) and DiurnalAmp could not express a flat shape.
+func TestArrivalDefaultsPreserveExplicitValues(t *testing.T) {
+	// Unset fields take the documented defaults.
+	a := ArrivalConfig{}.withDefaults(1000)
+	if a.BurstMul != DefaultBurstMul || a.BurstFrac != DefaultBurstFrac ||
+		a.MeanBurstMs != DefaultMeanBurstMs || a.DiurnalAmp != DefaultDiurnalAmp ||
+		a.ThinkMs != DefaultThinkMs || a.DiurnalPeriodMs != 1000 {
+		t.Fatalf("zero config did not take defaults: %+v", a)
+	}
+	// Explicit degenerate MMPP: BurstMul 1 stays 1.
+	a = ArrivalConfig{BurstMul: 1}.withDefaults(1000)
+	if a.BurstMul != 1 {
+		t.Fatalf("explicit BurstMul=1 rewritten to %v", a.BurstMul)
+	}
+	// Sub-unity multipliers (anti-bursts) survive too.
+	a = ArrivalConfig{BurstMul: 0.5}.withDefaults(1000)
+	if a.BurstMul != 0.5 {
+		t.Fatalf("explicit BurstMul=0.5 rewritten to %v", a.BurstMul)
+	}
+	// Explicit flat diurnal shape via the sentinel.
+	a = ArrivalConfig{DiurnalAmp: FlatDiurnal}.withDefaults(1000)
+	if a.DiurnalAmp != 0 {
+		t.Fatalf("FlatDiurnal resolved to amplitude %v, want 0", a.DiurnalAmp)
+	}
+	// And a flat diurnal run really is flat: it matches plain Poisson
+	// arrival counts at the same seed (same thinning always accepts).
+	cfg := tailBase()
+	cfg.Seconds = 1
+	cfg.Arrivals = ArrivalConfig{Process: ArrDiurnal, DiurnalAmp: FlatDiurnal}
+	flat := mustTail(t, cfg)
+	if flat.Arrived == 0 {
+		t.Fatal("flat diurnal run saw no arrivals")
+	}
+	rate := float64(flat.Arrived) / flat.Measured
+	if rate < 0.9*cfg.QPS || rate > 1.1*cfg.QPS {
+		t.Fatalf("flat diurnal rate %.0f/s, want ~%.0f/s with zero amplitude", rate, cfg.QPS)
+	}
+	// A degenerate MMPP run behaves as constant-rate Poisson.
+	cfg = tailBase()
+	cfg.Seconds = 1
+	cfg.Arrivals = ArrivalConfig{Process: ArrMMPP, BurstMul: 1}
+	m := mustTail(t, cfg)
+	rate = float64(m.Arrived) / m.Measured
+	if rate < 0.9*cfg.QPS || rate > 1.1*cfg.QPS {
+		t.Fatalf("degenerate MMPP rate %.0f/s, want ~%.0f/s", rate, cfg.QPS)
+	}
+}
+
+// TestTailDegenerateConfigErrors: degenerate configurations are config
+// errors, not silent empty runs reported as measured. Before the fix
+// ArrClosed with Users: 0 "ran" to completion with zero arrivals.
+func TestTailDegenerateConfigErrors(t *testing.T) {
+	for _, tc := range []struct {
+		label string
+		mut   func(*TailConfig)
+	}{
+		{"closed-zero-users", func(c *TailConfig) { c.Arrivals = ArrivalConfig{Process: ArrClosed} }},
+		{"closed-negative-users", func(c *TailConfig) {
+			c.Arrivals = ArrivalConfig{Process: ArrClosed, Users: -10}
+		}},
+		{"open-zero-qps", func(c *TailConfig) { c.QPS = 0 }},
+		{"open-negative-qps", func(c *TailConfig) { c.QPS = -100 }},
+		{"mmpp-zero-qps", func(c *TailConfig) { c.QPS = 0; c.Arrivals = ArrivalConfig{Process: ArrMMPP} }},
+		{"diurnal-zero-qps", func(c *TailConfig) { c.QPS = 0; c.Arrivals = ArrivalConfig{Process: ArrDiurnal} }},
+		{"zero-seconds", func(c *TailConfig) { c.Seconds = 0 }},
+		{"legacy-with-graph", func(c *TailConfig) { c.Legacy = true; c.Graph = HotelGraph() }},
+	} {
+		cfg := tailBase()
+		tc.mut(&cfg)
+		if _, err := RunTail(cfg); err == nil {
+			t.Fatalf("%s: expected a config error", tc.label)
+		}
+	}
+	// The closed loop with a real population still runs.
+	cfg := tailBase()
+	cfg.Seconds = 1
+	cfg.Arrivals = ArrivalConfig{Process: ArrClosed, Users: 100}
+	if m := mustTail(t, cfg); m.Arrived == 0 {
+		t.Fatal("closed loop with Users=100 saw no arrivals")
 	}
 }
 

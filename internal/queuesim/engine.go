@@ -1,25 +1,30 @@
-// The tail-at-scale engine: the Figure 22 social-network scenario run
-// as a pooled, allocation-free state machine instead of a closure
-// graph, so data-center populations (10⁶+ in-flight requests) are
-// cheap. Requests and batches live in index-addressed arenas, station
-// queues are packed (index, generation) rings, and every hop is a
-// typed event dispatched through the Sim's non-boxing binary heap —
-// steady-state event dispatch performs zero heap allocations.
-// Cancellation (timeouts, hedge losers) is lazy: a cancelled entry is
-// marked dead and collected by whatever holds it (its pending event, a
-// queue slot, or its batch), and generation counters make stale
-// timer/hedge/retry events no-ops, so nothing is ever searched or
-// removed from the middle of a queue.
+// The tail-at-scale engine: a declarative service graph run as a
+// pooled, allocation-free state machine instead of a closure graph, so
+// data-center populations (10⁶+ in-flight requests) are cheap. The
+// scenario comes from a compiled GraphSpec (graph.go) walked by the
+// generic executor (exec.go); TailConfig.Legacy instead routes the
+// retired hand-coded social-network dispatch (legacy.go), kept as the
+// byte-identity oracle. Requests and batches live in index-addressed
+// arenas, station queues are packed (index, generation) rings, and
+// every hop is a typed event dispatched through the Sim's non-boxing
+// binary heap — steady-state event dispatch performs zero heap
+// allocations. Cancellation (timeouts, hedge losers) is lazy: a
+// cancelled entry is marked dead and collected by whatever holds it
+// (its pending event, a queue slot, or its batch), and generation
+// counters make stale timer/hedge/retry events no-ops, so nothing is
+// ever searched or removed from the middle of a queue.
 //
 // Ownership discipline: at any instant each live request (and each
 // batch) has exactly one *driver* — the pending event moving it, the
-// station-queue slot holding it, or the batch it joined. Only the
+// station-queue slot holding it, the batch it joined, or (for a
+// fanned-out request) its outstanding legs collectively. Only the
 // driver frees the arena slot, and a slot's generation only advances
 // on free, so auxiliary events (timeout/hedge/retry) can always detect
 // staleness by comparing generations.
 package queuesim
 
 import (
+	"fmt"
 	"math"
 
 	"simr/internal/stats"
@@ -40,69 +45,38 @@ const (
 	ekThink                       // closed-loop user a finished thinking
 )
 
-// Stations of the User-path social graph.
-const (
-	siWeb = iota
-	siUser
-	siMcRouter
-	siMemcached
-	siStorage
-	siCount
-)
-
-// Per-request pipeline stages (CPU path; in RPU mode requests leave
-// the per-request pipeline after stWeb and travel in batches).
-const (
-	stWeb int8 = iota
-	stUser1
-	stMcRouter
-	stMemcached
-	stStorage
-	stUser2
-	stDone
-)
-
-// stageStation maps a request stage to the station serving it.
-var stageStation = [...]int32{siWeb, siUser, siMcRouter, siMemcached, siStorage, siUser}
-
-// Batch pipeline stages (RPU mode).
-const (
-	bsUser1 int8 = iota
-	bsMcRouter
-	bsMemcached
-	bsStorage   // miss sub-batch storage round trip
-	bsUser2     // phase-2 service
-	bsUser2Hold // no-split: storage wait held on-core + phase 2
-	bsDone
-)
-
-// batchStation maps a batch stage to the station serving it.
-var batchStation = [...]int32{siUser, siMcRouter, siMemcached, siStorage, siUser, siUser}
-
 // Request flags.
 const (
-	rfHit   uint8 = 1 << iota // memcached hit
+	rfHit   uint8 = 1 << iota // memcached hit (legacy dispatch)
 	rfDead                    // cancelled; the driver collects the slot
 	rfHedge                   // this slot is the hedge copy
+	rfLeg                     // fan-out leg: joins its parent, never completes
 )
 
-// ereq is one pooled request (or request copy: a retry or hedge).
+// ereq is one pooled request (or request copy: a retry or hedge, or a
+// fan-out leg).
 type ereq struct {
 	arrive float64 // first arrival of the logical request (latency origin)
 	enq    float64 // submission time at the current station
 	gen    uint32  // advances on free; stale events compare against it
 	user   int32   // closed-loop user index, -1 for open loop
 	twin   int32   // hedge partner slot, -1 when none
+	parent int32   // fan-out parent slot (sync legs), -1 otherwise
+	pgen   uint32  // parent's generation when the leg was spawned
+	joins  int32   // outstanding sync legs (fan-out parents)
+	coins  uint16  // per-request coin draws (generic executor)
 	stage  int8
 	tries  uint8
 	flags  uint8
 }
 
-// ebatch is one pooled RPU batch.
+// ebatch is one pooled RPU batch (or batch fan-out leg).
 type ebatch struct {
 	enq     float64
 	members []int32
 	gen     uint32
+	parent  int32 // batch fan-out parent, -1 otherwise
+	joins   int32 // outstanding sync batch legs
 	stage   int8
 	forming bool
 }
@@ -166,11 +140,11 @@ func (st *estation) account(now float64) {
 }
 
 // TailConfig parameterises one tail-at-scale load point. The embedded
-// Config supplies the Figure 22 scenario (demands, cores, batch
-// formation, hit rate, seed, horizon); Scale multiplies every
-// station's capacity so a Scale=100 run is the 100x-machines analog.
-// Batching is always at the logic tier (the paper's §VI-H placement);
-// BatchAtWebTier is ignored here.
+// Config supplies the demands, cores, batch formation, hit rate, seed
+// and horizon; Scale multiplies every station's capacity so a
+// Scale=100 run is the 100x-machines analog. Batching is always at
+// the graph's batch-formation point (the paper's §VI-H logic-tier
+// placement for the bundled graphs); BatchAtWebTier is ignored here.
 type TailConfig struct {
 	Config
 	// Scale multiplies station capacities (number of machines); < 1 is
@@ -178,6 +152,13 @@ type TailConfig struct {
 	Scale    float64
 	Arrivals ArrivalConfig
 	Policy   PolicyConfig
+	// Graph selects the scenario; nil runs SocialGraph(cfg.Config),
+	// the Figure 22 social-network analog.
+	Graph *GraphSpec
+	// Legacy routes the retired hand-coded social-network dispatch
+	// instead of the spec executor (equivalence oracle; incompatible
+	// with Graph).
+	Legacy bool
 }
 
 // DefaultTailConfig returns the 100x Figure 22 analog: one hundred
@@ -213,15 +194,32 @@ type TailMetrics struct {
 	// that arrived inside the measured window.
 	Latency  *stats.Sample
 	Measured float64 // seconds of measured arrival window
-	UserUtil float64 // bottleneck (User tier) utilisation over the arrival window
+	UserUtil float64 // bottleneck (batch tier) utilisation over the arrival window
 	// InFlightHWM is the high-water mark of requests in the system
-	// (including retry and hedge copies).
+	// (including retry, hedge and fan-out copies).
 	InFlightHWM int
 	// Events is the number of simulator events dispatched.
 	Events       uint64
 	Batches      int
 	AvgBatchFill float64
 	SplitBatches int
+}
+
+// Saturated reports whether the system failed to keep up with offered
+// load, using the same tail blow-up heuristic as Metrics.Saturated:
+// p99 over 10x the unloaded latency, or completion under 95 % of
+// offered. Because the drain window lets a backlogged run finish every
+// request eventually, the latency criterion is what catches saturation
+// in runs without timeout policies.
+func (m *TailMetrics) Saturated(baselineP99 float64) bool {
+	if m.Latency.Len() == 0 {
+		return true
+	}
+	if m.Offered > 0 && m.Measured > 0 &&
+		float64(m.Completed) < 0.95*m.Offered*m.Measured {
+		return true
+	}
+	return m.Latency.Percentile(99) > 10*baselineP99
 }
 
 // Throughput returns completed requests per measured second.
@@ -241,8 +239,12 @@ type engine struct {
 	sim *Sim
 	m   *TailMetrics
 
-	sts     [siCount]estation
-	demands [6]float64
+	g      *cgraph
+	legacy bool
+	netHop float64
+
+	sts     []estation
+	demands [6]float64 // legacy dispatch stage demands
 	latMul  float64
 
 	endMs, warmupMs float64
@@ -268,21 +270,61 @@ type engine struct {
 	inflightTS float64
 }
 
-// RunTail simulates one tail-at-scale load point.
-func RunTail(cfg TailConfig) *TailMetrics {
-	return newTailEngine(cfg).run()
+// RunTail simulates one tail-at-scale load point. It returns an error
+// for a degenerate configuration (zero horizon, open loop without a
+// positive QPS, closed loop without users, RPU over a batchless
+// graph) or an invalid graph spec, instead of silently reporting an
+// empty run as measured.
+func RunTail(cfg TailConfig) (*TailMetrics, error) {
+	e, err := newTailEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(), nil
 }
 
-func newTailEngine(cfg TailConfig) *engine {
+func newTailEngine(cfg TailConfig) (*engine, error) {
 	if cfg.Scale < 1 {
 		cfg.Scale = 1
 	}
+	if cfg.Seconds <= 0 {
+		return nil, fmt.Errorf("queuesim: Seconds must be positive (got %v)", cfg.Seconds)
+	}
+	if cfg.Arrivals.Process == ArrClosed {
+		if cfg.Arrivals.Users <= 0 {
+			return nil, fmt.Errorf("queuesim: closed-loop arrivals need Users > 0 (got %d)", cfg.Arrivals.Users)
+		}
+	} else if cfg.QPS <= 0 {
+		return nil, fmt.Errorf("queuesim: open-loop arrivals need QPS > 0 (got %v)", cfg.QPS)
+	}
+	spec := cfg.Graph
+	if cfg.Legacy {
+		if spec != nil {
+			return nil, fmt.Errorf("queuesim: Legacy runs the hand-coded social graph; Graph must be nil")
+		}
+		spec = SocialGraph(cfg.Config)
+	} else if spec == nil {
+		spec = SocialGraph(cfg.Config)
+	}
+	g, err := compileGraph(spec)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.RPU && !g.hasBatch {
+		return nil, fmt.Errorf("queuesim: graph %q has no batch path; RPU mode needs one", g.name)
+	}
+
 	sim := NewSim(cfg.Seed)
 	sim.Mon = cfg.Monitor
-	e := &engine{cfg: cfg, pol: cfg.Policy, sim: sim, forming: -1, inflightTS: math.Inf(-1)}
+	e := &engine{cfg: cfg, pol: cfg.Policy, sim: sim, g: g, legacy: cfg.Legacy,
+		forming: -1, inflightTS: math.Inf(-1)}
 	e.endMs = cfg.Seconds * 1000
 	e.warmupMs = cfg.Warmup * 1000
 	e.arr = cfg.Arrivals.withDefaults(e.endMs)
+	e.netHop = g.netHop
+	if e.netHop <= 0 {
+		e.netHop = cfg.NetHop
+	}
 
 	e.latMul = 1
 	capMul := 1.0
@@ -292,17 +334,24 @@ func newTailEngine(cfg TailConfig) *engine {
 	}
 	scale := cfg.Scale
 	cores := float64(cfg.Cores)
-	userServers := cores * scale
-	if cfg.RPU {
-		// cores × 5x × 1.2 (occupancy per batch) / batch width, per
-		// machine, times Scale machines.
-		userServers = math.Ceil(cores * 5 * 1.2 / float64(cfg.BatchSize) * scale)
+	e.sts = make([]estation, len(g.stations))
+	for i, sd := range g.stations {
+		var servers int32
+		switch {
+		case sd.infinite:
+			servers = Inf
+		case cfg.RPU && sd.batchTier:
+			// cores × 5x × 1.2 (occupancy per batch) / batch width, per
+			// machine, times Scale machines.
+			servers = int32(math.Ceil(cores * sd.coresMul * 5 * 1.2 / float64(cfg.BatchSize) * scale))
+		default:
+			servers = int32(cores * sd.coresMul * capMul * scale)
+		}
+		if servers <= 0 {
+			return nil, fmt.Errorf("queuesim: graph %q: station %q has zero servers at scale %v", g.name, sd.name, scale)
+		}
+		e.initStation(int32(i), sd.name, servers, cfg.RPU && sd.batched)
 	}
-	e.initStation(siWeb, "web", int32(cores*capMul*scale), false)
-	e.initStation(siUser, "user", int32(userServers), cfg.RPU)
-	e.initStation(siMcRouter, "mcrouter", int32(cores/2*capMul*scale), cfg.RPU)
-	e.initStation(siMemcached, "memcached", int32(cores/2*capMul*scale), cfg.RPU)
-	e.initStation(siStorage, "storage", Inf, cfg.RPU)
 	e.demands = [6]float64{cfg.WebDemand, cfg.UserPhase1, cfg.McRouterDemand,
 		cfg.MemcachedDemand, cfg.StorageLatency, cfg.UserPhase2}
 
@@ -320,7 +369,7 @@ func newTailEngine(cfg TailConfig) *engine {
 	}
 	sim.Handle = e.handle
 	e.startArrivals()
-	return e
+	return e, nil
 }
 
 func (e *engine) initStation(i int32, name string, servers int32, batched bool) {
@@ -332,7 +381,7 @@ func (e *engine) run() *TailMetrics {
 	// Utilisation is measured over the arrival window; the drain that
 	// follows collects in-flight completions without diluting it.
 	e.sim.Run(e.endMs)
-	e.m.UserUtil = e.stationUtil(siUser)
+	e.m.UserUtil = e.stationUtil(e.g.utilStation)
 	e.sim.Run(e.endMs + drainMs(e.cfg.Drain))
 	if e.m.Batches > 0 {
 		e.m.AvgBatchFill /= float64(e.m.Batches)
@@ -375,13 +424,21 @@ func (e *engine) finalizeObs() {
 func (e *engine) handle(kind uint8, a, b int32) {
 	switch kind {
 	case ekNet:
-		e.enter(a, int8(b))
+		if e.legacy {
+			e.enterL(a, int8(b))
+		} else {
+			e.enterG(a, b)
+		}
 	case ekSvcDone:
 		e.onSvcDone(a, b)
 	case ekArrival:
 		e.onArrival(a)
 	case ekBatchNet:
-		e.onBatchNet(a, b)
+		if e.legacy {
+			e.onBatchNetL(a, b)
+		} else {
+			e.enterBatchG(a, b)
+		}
 	case ekBatchDone:
 		e.onBatchDone(a, b)
 	case ekBatchTimer:
@@ -421,7 +478,11 @@ func (e *engine) alloc() int32 {
 func (e *engine) free(idx int32) {
 	r := &e.reqs[idx]
 	r.gen++
+	// Clear the outcome state alongside flags: a hedge armed against a
+	// try that was inline-rejected (and hence freed) reads this slot, so
+	// stale coins must mirror the cleared rfHit of the legacy dispatch.
 	r.flags = 0
+	r.coins = 0
 	r.twin = -1
 	e.freeR = append(e.freeR, idx)
 	e.live--
@@ -445,7 +506,9 @@ func (e *engine) sampleInflight() {
 // --- request lifecycle ---
 
 // issue creates and launches a new logical request (user >= 0 ties it
-// to a closed-loop client).
+// to a closed-loop client). The legacy dispatch draws its single
+// cache coin into rfHit; the generic executor draws every declared
+// coin, in declaration order, into the coin bitmask.
 func (e *engine) issue(user int32) {
 	idx := e.alloc()
 	r := &e.reqs[idx]
@@ -453,10 +516,21 @@ func (e *engine) issue(user int32) {
 	r.arrive = now
 	r.user = user
 	r.twin = -1
+	r.parent = -1
+	r.joins = 0
 	r.tries = 0
 	r.flags = 0
-	if e.sim.Rng.Float64() < e.cfg.HitRate {
-		r.flags = rfHit
+	r.coins = 0
+	if e.legacy {
+		if e.sim.Rng.Float64() < e.cfg.HitRate {
+			r.flags = rfHit
+		}
+	} else {
+		for i, p := range e.g.coins {
+			if e.sim.Rng.Float64() < p {
+				r.coins |= 1 << uint(i)
+			}
+		}
 	}
 	if now >= e.warmupMs && now <= e.endMs {
 		e.m.Arrived++
@@ -467,29 +541,17 @@ func (e *engine) issue(user int32) {
 	}
 }
 
-// launchTry arms the per-try timeout and enters the request at the web
-// tier (stage 0 is entered directly, as in Run).
+// launchTry arms the per-try timeout and enters the request at the
+// graph entry (stage 0 is entered directly, as in Run).
 func (e *engine) launchTry(idx int32) {
 	if e.pol.TimeoutMs > 0 {
 		e.sim.AtEvent(e.pol.TimeoutMs, ekTimeout, idx, int32(e.reqs[idx].gen))
 	}
-	e.enter(idx, stWeb)
-}
-
-// enter lands a request on a stage (or completes it at stDone).
-func (e *engine) enter(idx int32, stage int8) {
-	r := &e.reqs[idx]
-	if r.flags&rfDead != 0 {
-		e.free(idx)
-		return
+	if e.legacy {
+		e.enterL(idx, stWeb)
+	} else {
+		e.enterG(idx, e.g.entry)
 	}
-	if stage == stDone {
-		e.complete(idx)
-		return
-	}
-	r.stage = stage
-	r.enq = e.sim.now
-	e.submitReq(&e.sts[stageStation[stage]], idx)
 }
 
 func (e *engine) submitReq(st *estation, idx int32) {
@@ -499,7 +561,11 @@ func (e *engine) submitReq(st *estation, idx int32) {
 		e.serveReq(st, idx)
 	} else if e.pol.QueueCap > 0 && st.q.n >= e.pol.QueueCap {
 		e.m.Rejected++
-		e.abandonTry(idx, true)
+		if e.reqs[idx].flags&rfLeg != 0 {
+			e.rejectLeg(idx)
+		} else {
+			e.abandonTry(idx, true)
+		}
 	} else {
 		st.q.push(pack(idx, e.reqs[idx].gen))
 	}
@@ -507,12 +573,11 @@ func (e *engine) submitReq(st *estation, idx int32) {
 }
 
 func (e *engine) serveReq(st *estation, idx int32) {
-	r := &e.reqs[idx]
-	d := e.demands[r.stage]
-	if r.stage != stStorage {
-		d = e.sim.Jitter(d) * e.latMul
+	if e.legacy {
+		e.serveReqL(st, idx)
+	} else {
+		e.serveReqG(st, idx)
 	}
-	e.sim.AtEvent(d, ekSvcDone, idx, st.idx)
 }
 
 func (e *engine) onSvcDone(idx, stIdx int32) {
@@ -528,7 +593,11 @@ func (e *engine) onSvcDone(idx, stIdx int32) {
 		e.free(idx)
 		return
 	}
-	e.advance(idx)
+	if e.legacy {
+		e.advanceL(idx)
+	} else {
+		e.advanceG(idx)
+	}
 }
 
 // dispatchNext pulls queued work onto freed servers, collecting dead
@@ -558,38 +627,6 @@ func (e *engine) dispatchNext(st *estation) {
 		st.busy++
 		e.serveReq(st, idx)
 	}
-}
-
-// advance moves a request past its just-completed stage, mirroring the
-// closure graph in Run (hops match sim.At(NetHop, …) placements).
-func (e *engine) advance(idx int32) {
-	r := &e.reqs[idx]
-	switch r.stage {
-	case stWeb:
-		if e.cfg.RPU {
-			e.joinBatch(idx)
-		} else {
-			e.hop(idx, stUser1)
-		}
-	case stUser1:
-		e.hop(idx, stMcRouter)
-	case stMcRouter:
-		e.enter(idx, stMemcached)
-	case stMemcached:
-		if r.flags&rfHit != 0 {
-			e.hop(idx, stUser2)
-		} else {
-			e.enter(idx, stStorage)
-		}
-	case stStorage:
-		e.hop(idx, stUser2)
-	case stUser2:
-		e.hop(idx, stDone)
-	}
-}
-
-func (e *engine) hop(idx int32, stage int8) {
-	e.sim.AtEvent(e.cfg.NetHop, ekNet, idx, int32(stage))
 }
 
 // complete resolves a logical request: cancels its hedge twin, records
@@ -633,11 +670,13 @@ func (e *engine) onTimeout(idx, gen int32) {
 // remains, otherwise fail the logical request. When the caller is the
 // slot's driver (inline queue rejection) the slot is freed here; a
 // timeout is not the driver and leaves the dead slot for its queue
-// entry / in-service event to collect.
+// entry / in-service event / outstanding legs to collect.
 func (e *engine) abandonTry(idx int32, isDriver bool) {
 	e.reqs[idx].flags |= rfDead
 	r := &e.reqs[idx]
-	if int(r.tries) < e.pol.MaxRetries {
+	// r.tries < 255 saturates the uint8 counter: with MaxRetries ≥ 255
+	// it would wrap to 0 and retry forever.
+	if int(r.tries) < e.pol.MaxRetries && r.tries < math.MaxUint8 {
 		e.m.Retried++
 		n := e.alloc()
 		r = &e.reqs[idx] // alloc may have grown the arena
@@ -646,7 +685,10 @@ func (e *engine) abandonTry(idx int32, isDriver bool) {
 		c.user = r.user
 		c.tries = r.tries + 1
 		c.flags = r.flags & (rfHit | rfHedge)
+		c.coins = r.coins
 		c.twin = -1
+		c.parent = -1
+		c.joins = 0
 		// A hedge pair survives a retry: relink so the first completion
 		// still cancels the other copy.
 		if r.twin >= 0 {
@@ -714,7 +756,10 @@ func (e *engine) onHedge(idx, gen int32) {
 	c.user = r.user
 	c.tries = 0
 	c.flags = (r.flags & rfHit) | rfHedge
+	c.coins = r.coins
 	c.twin = idx
+	c.parent = -1
+	c.joins = 0
 	r.twin = n
 	e.launchTry(n)
 }
@@ -731,6 +776,8 @@ func (e *engine) allocBatch() int32 {
 		idx = int32(len(e.batches) - 1)
 	}
 	b := &e.batches[idx]
+	b.parent = -1
+	b.joins = 0
 	if n := len(e.memberPool); n > 0 {
 		b.members = e.memberPool[n-1][:0]
 		e.memberPool = e.memberPool[:n-1]
@@ -749,7 +796,7 @@ func (e *engine) freeBatch(idx int32) {
 	e.freeB = append(e.freeB, idx)
 }
 
-// joinBatch adds a web-acknowledged request to the forming batch,
+// joinBatch adds a formation-point request to the forming batch,
 // arming the formation timer when the batch is born — per batch, from
 // its first request, exactly the semantics the legacy batcher's
 // generation counter enforces.
@@ -784,22 +831,15 @@ func (e *engine) launchBatch(bi int32) {
 	b.forming = false
 	e.m.Batches++
 	e.m.AvgBatchFill += float64(len(b.members))
-	e.bhop(bi, bsUser1)
-}
-
-func (e *engine) bhop(bi int32, stage int8) {
-	e.sim.AtEvent(e.cfg.NetHop, ekBatchNet, bi, int32(stage))
-}
-
-func (e *engine) onBatchNet(bi, stage int32) {
-	if int8(stage) == bsDone {
-		e.completeBatch(bi)
+	if e.legacy {
+		e.bhop(bi, bsUser1)
 		return
 	}
-	b := &e.batches[bi]
-	b.stage = int8(stage)
-	b.enq = e.sim.now
-	e.submitBatch(&e.sts[batchStation[stage]], bi)
+	if e.g.bentryHop {
+		e.sim.AtEvent(e.netHop, ekBatchNet, bi, e.g.bentry)
+	} else {
+		e.enterBatchG(bi, e.g.bentry)
+	}
 }
 
 func (e *engine) submitBatch(st *estation, bi int32) {
@@ -814,25 +854,11 @@ func (e *engine) submitBatch(st *estation, bi int32) {
 }
 
 func (e *engine) serveBatch(st *estation, bi int32) {
-	b := &e.batches[bi]
-	var d float64
-	switch b.stage {
-	case bsUser1:
-		d = e.sim.Jitter(e.cfg.UserPhase1) * e.latMul
-	case bsMcRouter:
-		d = e.sim.Jitter(e.cfg.McRouterDemand) * e.latMul
-	case bsMemcached:
-		d = e.sim.Jitter(e.cfg.MemcachedDemand) * e.latMul
-	case bsStorage:
-		d = e.cfg.StorageLatency
-	case bsUser2:
-		d = e.sim.Jitter(e.cfg.UserPhase2) * e.latMul
-	case bsUser2Hold:
-		// Reconvergence wait held on-core: the batch occupies its
-		// server for the storage round trip plus phase 2.
-		d = e.cfg.StorageLatency + e.sim.Jitter(e.cfg.UserPhase2)*e.latMul
+	if e.legacy {
+		e.serveBatchL(st, bi)
+	} else {
+		e.serveBatchG(st, bi)
 	}
-	e.sim.AtEvent(d, ekBatchDone, bi, st.idx)
 }
 
 func (e *engine) onBatchDone(bi, stIdx int32) {
@@ -844,78 +870,11 @@ func (e *engine) onBatchDone(bi, stIdx int32) {
 	st.probe.observe(now, now-b.enq)
 	st.probe.sample(now, st.q.n, int(st.busy))
 	e.dispatchNext(st)
-	switch b.stage {
-	case bsUser1:
-		e.bhop(bi, bsMcRouter)
-	case bsMcRouter:
-		// Straight into memcached, no hop (matches Run).
-		b.stage = bsMemcached
-		b.enq = now
-		e.submitBatch(&e.sts[siMemcached], bi)
-	case bsMemcached:
-		e.diverge(bi)
-	case bsStorage:
-		e.bhop(bi, bsUser2)
-	case bsUser2, bsUser2Hold:
-		e.bhop(bi, bsDone)
+	if e.legacy {
+		e.onBatchDoneL(bi)
+	} else {
+		e.onBatchDoneG(bi)
 	}
-}
-
-// diverge handles the memcached hit/miss divergence: collect cancelled
-// members, then split (§III-B5), hold the whole batch for the storage
-// round trip, or proceed straight to phase 2.
-func (e *engine) diverge(bi int32) {
-	b := &e.batches[bi]
-	live := b.members[:0]
-	misses := 0
-	for _, idx := range b.members {
-		r := &e.reqs[idx]
-		if r.flags&rfDead != 0 {
-			e.free(idx)
-			continue
-		}
-		live = append(live, idx)
-		if r.flags&rfHit == 0 {
-			misses++
-		}
-	}
-	b.members = live
-	if len(live) == 0 {
-		e.freeBatch(bi)
-		return
-	}
-	if misses == 0 {
-		e.bhop(bi, bsUser2)
-		return
-	}
-	if !e.cfg.Split {
-		e.bhop(bi, bsUser2Hold)
-		return
-	}
-	e.m.SplitBatches++
-	if misses == len(live) {
-		// All-miss batch: it is its own miss sub-batch.
-		b.stage = bsStorage
-		b.enq = e.sim.now
-		e.submitBatch(&e.sts[siStorage], bi)
-		return
-	}
-	mi := e.allocBatch()
-	b = &e.batches[bi] // allocBatch may grow the arena
-	mb := &e.batches[mi]
-	hits := b.members[:0]
-	for _, idx := range b.members {
-		if e.reqs[idx].flags&rfHit == 0 {
-			mb.members = append(mb.members, idx)
-		} else {
-			hits = append(hits, idx)
-		}
-	}
-	b.members = hits
-	e.bhop(bi, bsUser2)
-	mb.stage = bsStorage
-	mb.enq = e.sim.now
-	e.submitBatch(&e.sts[siStorage], mi)
 }
 
 func (e *engine) completeBatch(bi int32) {

@@ -17,6 +17,17 @@ func tailBase() TailConfig {
 	return TailConfig{Config: c, Scale: 1}
 }
 
+// mustTail runs one tail load point, failing the test on a config or
+// graph error.
+func mustTail(t testing.TB, cfg TailConfig) *TailMetrics {
+	t.Helper()
+	m, err := RunTail(cfg)
+	if err != nil {
+		t.Fatalf("RunTail: %v", err)
+	}
+	return m
+}
+
 func checkConservation(t *testing.T, m *TailMetrics, label string) {
 	t.Helper()
 	if m.Arrived == 0 {
@@ -57,7 +68,7 @@ func TestTailConservation(t *testing.T) {
 	} {
 		cfg := tailBase()
 		tc.mut(&cfg)
-		m := RunTail(cfg)
+		m := mustTail(t, cfg)
 		checkConservation(t, m, tc.label)
 		if m.Events == 0 || m.InFlightHWM == 0 {
 			t.Fatalf("%s: missing engine accounting: %+v", tc.label, m)
@@ -76,7 +87,7 @@ func TestTailMatchesLegacy(t *testing.T) {
 		cfg := tailBase()
 		cfg.RPU, cfg.Split = mode.rpu, mode.split
 		legacy := Run(cfg.Config)
-		m := RunTail(cfg)
+		m := mustTail(t, cfg)
 		lt, tt := legacy.Throughput(legacy.Measured), m.Throughput()
 		if tt < 0.9*lt || tt > 1.1*lt {
 			t.Fatalf("%s: throughput diverged: legacy %.0f/s engine %.0f/s", mode.label, lt, tt)
@@ -101,7 +112,7 @@ func TestMMPPMeanRate(t *testing.T) {
 		cfg.Warmup = 0
 		cfg.Seed = seed
 		cfg.Arrivals = ArrivalConfig{Process: ArrMMPP, BurstMul: 5, BurstFrac: 0.2, MeanBurstMs: 50}
-		m := RunTail(cfg)
+		m := mustTail(t, cfg)
 		rate += float64(m.Arrived) / m.Measured / seeds
 		checkConservation(t, m, "mmpp")
 	}
@@ -118,7 +129,7 @@ func TestDiurnalMeanRate(t *testing.T) {
 	cfg.Seconds = 10
 	cfg.Warmup = 0
 	cfg.Arrivals = ArrivalConfig{Process: ArrDiurnal, DiurnalAmp: 0.6}
-	m := RunTail(cfg)
+	m := mustTail(t, cfg)
 	rate := float64(m.Arrived) / m.Measured
 	if rate < 0.9*cfg.QPS || rate > 1.1*cfg.QPS {
 		t.Fatalf("diurnal mean rate %.0f/s, want ~%.0f/s", rate, cfg.QPS)
@@ -132,7 +143,7 @@ func TestClosedLoopLittle(t *testing.T) {
 	cfg.Seconds = 10
 	cfg.Warmup = 2
 	cfg.Arrivals = ArrivalConfig{Process: ArrClosed, Users: 500, ThinkMs: 50}
-	m := RunTail(cfg)
+	m := mustTail(t, cfg)
 	checkConservation(t, m, "closed")
 	x := m.Throughput()
 	want := 500.0 * 1000 / (50 + m.Latency.Mean())
@@ -152,7 +163,7 @@ func TestTimeoutRetryMechanics(t *testing.T) {
 	cfg := tailBase()
 	cfg.QPS = 25000
 	cfg.Policy = PolicyConfig{TimeoutMs: 30, MaxRetries: 3, BackoffMs: 2}
-	m := RunTail(cfg)
+	m := mustTail(t, cfg)
 	if m.TimedOut == 0 {
 		t.Fatal("overloaded run with TimeoutMs=30 produced no timeouts")
 	}
@@ -174,7 +185,7 @@ func TestHedgeMechanics(t *testing.T) {
 	cfg := tailBase()
 	cfg.QPS = 8000
 	cfg.Policy = PolicyConfig{HedgeMs: 0.5}
-	m := RunTail(cfg)
+	m := mustTail(t, cfg)
 	if m.Hedged == 0 {
 		t.Fatal("no hedges issued")
 	}
@@ -193,14 +204,14 @@ func TestQueueCapRejects(t *testing.T) {
 	cfg := tailBase()
 	cfg.QPS = 30000
 	cfg.Policy = PolicyConfig{QueueCap: 100}
-	m := RunTail(cfg)
+	m := mustTail(t, cfg)
 	if m.Rejected == 0 {
 		t.Fatal("overloaded run with QueueCap=100 rejected nothing")
 	}
 	checkConservation(t, m, "queue-cap")
 	capped := tailBase()
 	capped.QPS = 30000
-	uncapped := RunTail(capped)
+	uncapped := mustTail(t, capped)
 	if m.Latency.Percentile(99) >= uncapped.Latency.Percentile(99) {
 		t.Fatalf("queue cap did not shorten the tail: capped p99 %.1f >= uncapped %.1f",
 			m.Latency.Percentile(99), uncapped.Latency.Percentile(99))
@@ -222,7 +233,7 @@ func TestTailDeterminism(t *testing.T) {
 	for i := range seq {
 		cfg := mk()
 		cfg.Seed = int64(i + 1)
-		seq[i] = RunTail(cfg)
+		seq[i] = mustTail(t, cfg)
 	}
 	par := make([]*TailMetrics, 4)
 	var wg sync.WaitGroup
@@ -232,7 +243,7 @@ func TestTailDeterminism(t *testing.T) {
 			defer wg.Done()
 			cfg := mk()
 			cfg.Seed = int64(i + 1)
-			par[i] = RunTail(cfg)
+			par[i] = mustTail(t, cfg)
 		}(i)
 	}
 	wg.Wait()
@@ -253,7 +264,10 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 	cfg := tailBase()
 	cfg.Seconds = 2
 	cfg.Warmup = 0
-	e := newTailEngine(cfg)
+	e, err := newTailEngine(cfg)
+	if err != nil {
+		t.Fatalf("newTailEngine: %v", err)
+	}
 	now := 200.0
 	e.sim.Run(now) // grow arenas, heap, rings, stats to steady state
 	n := testing.AllocsPerRun(100, func() {
@@ -278,7 +292,7 @@ func TestTailScaleMillionInFlight(t *testing.T) {
 	cfg.Warmup = 0.1
 	cfg.Drain = 0.5
 	cfg.Seed = 7
-	m := RunTail(cfg)
+	m := mustTail(t, cfg)
 	if m.InFlightHWM < 1_000_000 {
 		t.Fatalf("in-flight high-water mark %d, want >= 1e6", m.InFlightHWM)
 	}
@@ -307,7 +321,7 @@ func BenchmarkTailEngine(b *testing.B) {
 				cfg.Drain = 1
 				cfg.RPU, cfg.Split = mode.rpu, mode.split
 				cfg.Seed = int64(i + 1)
-				events += RunTail(cfg).Events
+				events += mustTail(b, cfg).Events
 			}
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 		})

@@ -1,0 +1,220 @@
+// The retired hand-coded dispatch for the Figure 22 social-network
+// scenario, kept verbatim behind TailConfig.Legacy as the oracle for
+// the spec-vs-hand-coded equivalence tests (graph_test.go proves the
+// generic executor walking SocialGraph is byte-identical to this
+// code at any seed). New scenarios are specs; do not extend this file.
+package queuesim
+
+// Stations of the User-path social graph. The SocialGraph spec
+// declares its stations in this order, so the compiled station indices
+// coincide with these constants.
+const (
+	siWeb = iota
+	siUser
+	siMcRouter
+	siMemcached
+	siStorage
+	siCount
+)
+
+// Per-request pipeline stages (CPU path; in RPU mode requests leave
+// the per-request pipeline after stWeb and travel in batches). These
+// coincide with the SocialGraph stage indices.
+const (
+	stWeb int8 = iota
+	stUser1
+	stMcRouter
+	stMemcached
+	stStorage
+	stUser2
+	stDone
+)
+
+// stageStation maps a request stage to the station serving it.
+var stageStation = [...]int32{siWeb, siUser, siMcRouter, siMemcached, siStorage, siUser}
+
+// Batch pipeline stages (RPU mode), coinciding with the SocialGraph
+// batch-stage indices.
+const (
+	bsUser1 int8 = iota
+	bsMcRouter
+	bsMemcached
+	bsStorage   // miss sub-batch storage round trip
+	bsUser2     // phase-2 service
+	bsUser2Hold // no-split: storage wait held on-core + phase 2
+	bsDone
+)
+
+// batchStation maps a batch stage to the station serving it.
+var batchStation = [...]int32{siUser, siMcRouter, siMemcached, siStorage, siUser, siUser}
+
+// enterL lands a request on a stage (or completes it at stDone).
+func (e *engine) enterL(idx int32, stage int8) {
+	r := &e.reqs[idx]
+	if r.flags&rfDead != 0 {
+		e.free(idx)
+		return
+	}
+	if stage == stDone {
+		e.complete(idx)
+		return
+	}
+	r.stage = stage
+	r.enq = e.sim.now
+	e.submitReq(&e.sts[stageStation[stage]], idx)
+}
+
+func (e *engine) serveReqL(st *estation, idx int32) {
+	r := &e.reqs[idx]
+	d := e.demands[r.stage]
+	if r.stage != stStorage {
+		d = e.sim.Jitter(d) * e.latMul
+	}
+	e.sim.AtEvent(d, ekSvcDone, idx, st.idx)
+}
+
+// advanceL moves a request past its just-completed stage, mirroring
+// the closure graph in Run (hops match sim.At(NetHop, …) placements).
+func (e *engine) advanceL(idx int32) {
+	r := &e.reqs[idx]
+	switch r.stage {
+	case stWeb:
+		if e.cfg.RPU {
+			e.joinBatch(idx)
+		} else {
+			e.hop(idx, stUser1)
+		}
+	case stUser1:
+		e.hop(idx, stMcRouter)
+	case stMcRouter:
+		e.enterL(idx, stMemcached)
+	case stMemcached:
+		if r.flags&rfHit != 0 {
+			e.hop(idx, stUser2)
+		} else {
+			e.enterL(idx, stStorage)
+		}
+	case stStorage:
+		e.hop(idx, stUser2)
+	case stUser2:
+		e.hop(idx, stDone)
+	}
+}
+
+func (e *engine) hop(idx int32, stage int8) {
+	e.sim.AtEvent(e.cfg.NetHop, ekNet, idx, int32(stage))
+}
+
+func (e *engine) bhop(bi int32, stage int8) {
+	e.sim.AtEvent(e.cfg.NetHop, ekBatchNet, bi, int32(stage))
+}
+
+func (e *engine) onBatchNetL(bi, stage int32) {
+	if int8(stage) == bsDone {
+		e.completeBatch(bi)
+		return
+	}
+	b := &e.batches[bi]
+	b.stage = int8(stage)
+	b.enq = e.sim.now
+	e.submitBatch(&e.sts[batchStation[stage]], bi)
+}
+
+func (e *engine) serveBatchL(st *estation, bi int32) {
+	b := &e.batches[bi]
+	var d float64
+	switch b.stage {
+	case bsUser1:
+		d = e.sim.Jitter(e.cfg.UserPhase1) * e.latMul
+	case bsMcRouter:
+		d = e.sim.Jitter(e.cfg.McRouterDemand) * e.latMul
+	case bsMemcached:
+		d = e.sim.Jitter(e.cfg.MemcachedDemand) * e.latMul
+	case bsStorage:
+		d = e.cfg.StorageLatency
+	case bsUser2:
+		d = e.sim.Jitter(e.cfg.UserPhase2) * e.latMul
+	case bsUser2Hold:
+		// Reconvergence wait held on-core: the batch occupies its
+		// server for the storage round trip plus phase 2.
+		d = e.cfg.StorageLatency + e.sim.Jitter(e.cfg.UserPhase2)*e.latMul
+	}
+	e.sim.AtEvent(d, ekBatchDone, bi, st.idx)
+}
+
+// onBatchDoneL routes a batch past its just-completed stage.
+func (e *engine) onBatchDoneL(bi int32) {
+	b := &e.batches[bi]
+	switch b.stage {
+	case bsUser1:
+		e.bhop(bi, bsMcRouter)
+	case bsMcRouter:
+		// Straight into memcached, no hop (matches Run).
+		b.stage = bsMemcached
+		b.enq = e.sim.now
+		e.submitBatch(&e.sts[siMemcached], bi)
+	case bsMemcached:
+		e.divergeL(bi)
+	case bsStorage:
+		e.bhop(bi, bsUser2)
+	case bsUser2, bsUser2Hold:
+		e.bhop(bi, bsDone)
+	}
+}
+
+// divergeL handles the memcached hit/miss divergence: collect
+// cancelled members, then split (§III-B5), hold the whole batch for
+// the storage round trip, or proceed straight to phase 2.
+func (e *engine) divergeL(bi int32) {
+	b := &e.batches[bi]
+	live := b.members[:0]
+	misses := 0
+	for _, idx := range b.members {
+		r := &e.reqs[idx]
+		if r.flags&rfDead != 0 {
+			e.free(idx)
+			continue
+		}
+		live = append(live, idx)
+		if r.flags&rfHit == 0 {
+			misses++
+		}
+	}
+	b.members = live
+	if len(live) == 0 {
+		e.freeBatch(bi)
+		return
+	}
+	if misses == 0 {
+		e.bhop(bi, bsUser2)
+		return
+	}
+	if !e.cfg.Split {
+		e.bhop(bi, bsUser2Hold)
+		return
+	}
+	e.m.SplitBatches++
+	if misses == len(live) {
+		// All-miss batch: it is its own miss sub-batch.
+		b.stage = bsStorage
+		b.enq = e.sim.now
+		e.submitBatch(&e.sts[siStorage], bi)
+		return
+	}
+	mi := e.allocBatch()
+	b = &e.batches[bi] // allocBatch may grow the arena
+	mb := &e.batches[mi]
+	hits := b.members[:0]
+	for _, idx := range b.members {
+		if e.reqs[idx].flags&rfHit == 0 {
+			mb.members = append(mb.members, idx)
+		} else {
+			hits = append(hits, idx)
+		}
+	}
+	b.members = hits
+	e.bhop(bi, bsUser2)
+	mb.stage = bsStorage
+	mb.enq = e.sim.now
+	e.submitBatch(&e.sts[siStorage], mi)
+}

@@ -30,7 +30,17 @@ type PolicyConfig struct {
 	// holds QueueCap entries (the rejection is retried under the same
 	// backoff policy, or fails the request). 0 = unbounded queues.
 	QueueCap int
+	// MaxBackoffMs caps the doubled backoff (before jitter). 0 = no
+	// explicit cap; doubling still stops at 2^16 × BackoffMs so a deep
+	// retry budget cannot overflow the shift into a zero or negative
+	// wait (an immediate-retry storm).
+	MaxBackoffMs float64
 }
+
+// backoffShiftCap stops exponential doubling at 2^16 × BackoffMs.
+// Beyond ~17 tries the uncapped shift would exceed an int32 (and by 63
+// wrap negative), turning backoff into immediate re-issue.
+const backoffShiftCap = 16
 
 // backoff returns the jittered exponential backoff before try number
 // `tries` (1-based over retries: the first retry waits ~BackoffMs, the
@@ -39,6 +49,13 @@ func (e *engine) backoff(tries uint8) float64 {
 	if e.pol.BackoffMs <= 0 {
 		return 0
 	}
-	d := e.pol.BackoffMs * float64(int(1)<<(tries-1))
+	sh := uint(tries - 1)
+	if sh > backoffShiftCap {
+		sh = backoffShiftCap
+	}
+	d := e.pol.BackoffMs * float64(int64(1)<<sh)
+	if e.pol.MaxBackoffMs > 0 && d > e.pol.MaxBackoffMs {
+		d = e.pol.MaxBackoffMs
+	}
 	return e.sim.Jitter(d)
 }
