@@ -148,32 +148,53 @@ type BatchCacheEntry struct {
 // study: completion accounting, the latency tail, and the arena
 // engine's event throughput.
 type QueuesimPoint struct {
-	Mode         string  `json:"mode"`
-	QPS          float64 `json:"qps"`
-	Arrived      int     `json:"arrived"`
-	Completed    int     `json:"completed"`
-	Failed       int     `json:"failed"`
-	TimedOut     int     `json:"timed_out"`
-	Rejected     int     `json:"rejected"`
-	P50          float64 `json:"p50_ms"`
-	P99          float64 `json:"p99_ms"`
-	P999         float64 `json:"p999_ms"`
-	InFlightHWM  int     `json:"inflight_hwm"`
-	Events       uint64  `json:"events"`
-	WallSec      float64 `json:"wall_s"`
-	EventsPerSec float64 `json:"events_per_sec"`
+	Mode        string  `json:"mode"`
+	QPS         float64 `json:"qps"`
+	Arrived     int     `json:"arrived"`
+	Completed   int     `json:"completed"`
+	Failed      int     `json:"failed"`
+	TimedOut    int     `json:"timed_out"`
+	Rejected    int     `json:"rejected"`
+	P50         float64 `json:"p50_ms"`
+	P99         float64 `json:"p99_ms"`
+	P999        float64 `json:"p999_ms"`
+	InFlightHWM int     `json:"inflight_hwm"`
+	Events      uint64  `json:"events"`
+	// CancelledTimers counts timers logically descheduled during the
+	// run (identical across schedulers; the calendar scheduler turns
+	// each into a physical O(1) removal).
+	CancelledTimers uint64  `json:"cancelled_timers"`
+	WallSec         float64 `json:"wall_s"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+}
+
+// sameQueuesimSim reports whether two points' simulation outputs agree
+// — everything except the wall-clock columns, which are the measurement.
+func sameQueuesimSim(a, b QueuesimPoint) bool {
+	return a.Mode == b.Mode && a.QPS == b.QPS && a.Arrived == b.Arrived &&
+		a.Completed == b.Completed && a.Failed == b.Failed &&
+		a.TimedOut == b.TimedOut && a.Rejected == b.Rejected &&
+		a.P50 == b.P50 && a.P99 == b.P99 && a.P999 == b.P999 &&
+		a.InFlightHWM == b.InFlightHWM && a.Events == b.Events &&
+		a.CancelledTimers == b.CancelledTimers
 }
 
 // QueuesimEntry is one tail-at-scale trajectory point, written to
 // BENCH_queuesim.json: the Figure 22 analog at 100x the paper's load.
+// Since the calendar-queue scheduler landed, each generation appends a
+// pair of entries — heap oracle first, then calendar — so the artifact
+// records the before/after events/sec trajectory.
 type QueuesimEntry struct {
-	Timestamp  string          `json:"timestamp"`
-	GoMaxProcs int             `json:"gomaxprocs"`
-	Workers    int             `json:"workers"`
-	Seed       int64           `json:"seed"`
-	Scale      float64         `json:"scale"`
-	Seconds    float64         `json:"seconds"`
-	Points     []QueuesimPoint `json:"points"`
+	Timestamp  string  `json:"timestamp"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	Seed       int64   `json:"seed"`
+	Scale      float64 `json:"scale"`
+	Seconds    float64 `json:"seconds"`
+	// Scheduler names the pending-event container ("heap" or
+	// "calendar"); entries predating the switch omit it.
+	Scheduler string          `json:"scheduler,omitempty"`
+	Points    []QueuesimPoint `json:"points"`
 }
 
 // GraphPoint is one bundled service graph's CPU-vs-RPU saturation
@@ -253,9 +274,13 @@ func main() {
 	cacheSample := flag.String("cachesample", "4:3", "sample config for the batch-cache study's stacked run (PERIOD[:WARMUP])")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	only := flag.String("only", "", "run a single study and skip the rest (supported: queuesim)")
 	sampleFlags := sampleflag.Add(flag.CommandLine)
 	distFlags := distflag.Add(flag.CommandLine)
 	flag.Parse()
+	if *only != "" && *only != "queuesim" {
+		log.Fatalf("-only %q: unsupported study (supported: queuesim)", *only)
+	}
 	studyMetrics = *perStudy
 	scfg, err := sampleFlags.Setup()
 	if err != nil {
@@ -305,52 +330,75 @@ func main() {
 		Sample:     sample.Config{}.String(),
 	}
 
-	studies := []StudyEntry{
-		benchChipStudy(suite, *requests, *seed, *workers),
-		benchBatchSweep(suite, *requests, *seed, *workers),
-		benchSyssim(*seconds, *seed, *workers),
-	}
-
-	for _, s := range studies {
-		entry.Results = append(entry.Results, s.Result)
-		r := s.Result
-		fmt.Printf("%-22s seq %7.3fs  pipelined %7.3fs  speedup %.2fx  identical=%v\n",
-			r.Name, r.SeqSec, r.PipeSec, r.Speedup, r.Identical)
-		if !r.Identical {
-			log.Fatalf("%s: outputs differ between sequential and pipelined runs", r.Name)
+	if *only == "" {
+		studies := []StudyEntry{
+			benchChipStudy(suite, *requests, *seed, *workers),
+			benchBatchSweep(suite, *requests, *seed, *workers),
+			benchSyssim(*seconds, *seed, *workers),
 		}
-	}
-	if err := appendJSON(*out, entry); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("appended to %s\n", *out)
-	if studyMetrics {
+
 		for _, s := range studies {
-			s.Timestamp = stamp
-			s.GoMaxProcs = entry.GoMaxProcs
-			s.Workers = *workers
-			s.Requests = *requests
-			s.Seed = *seed
-			s.Sample = entry.Sample
-			path := "BENCH_" + s.Result.Name + ".json"
-			if err := appendJSON(path, s); err != nil {
-				log.Fatal(err)
+			entry.Results = append(entry.Results, s.Result)
+			r := s.Result
+			fmt.Printf("%-22s seq %7.3fs  pipelined %7.3fs  speedup %.2fx  identical=%v\n",
+				r.Name, r.SeqSec, r.PipeSec, r.Speedup, r.Identical)
+			if !r.Identical {
+				log.Fatalf("%s: outputs differ between sequential and pipelined runs", r.Name)
 			}
-			fmt.Printf("appended to %s\n", path)
+		}
+		if err := appendJSON(*out, entry); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("appended to %s\n", *out)
+		if studyMetrics {
+			for _, s := range studies {
+				s.Timestamp = stamp
+				s.GoMaxProcs = entry.GoMaxProcs
+				s.Workers = *workers
+				s.Requests = *requests
+				s.Seed = *seed
+				s.Sample = entry.Sample
+				path := "BENCH_" + s.Result.Name + ".json"
+				if err := appendJSON(path, s); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("appended to %s\n", path)
+			}
 		}
 	}
 
-	qe := benchQueuesim(*seconds, *seed, *workers)
-	qe.Timestamp = stamp
-	qe.GoMaxProcs = entry.GoMaxProcs
-	for _, p := range qe.Points {
-		fmt.Printf("%-22s qps %9.0f  done %8d  p99 %8.2fms  p999 %8.2fms  hwm %8d  %5.1f Mev/s\n",
-			"queuesim-"+p.Mode, p.QPS, p.Completed, p.P99, p.P999, p.InFlightHWM, p.EventsPerSec/1e6)
+	// The tail-at-scale study runs twice — once per scheduler, the heap
+	// oracle first — so every BENCH_queuesim.json generation carries a
+	// before/after pair. The simulation columns of matching points must
+	// agree exactly (the schedulers are byte-identical by construction);
+	// only wall time and events/sec may differ.
+	qeHeap := benchQueuesim(*seconds, *seed, *workers, queuesim.SchedHeap)
+	qeCal := benchQueuesim(*seconds, *seed, *workers, queuesim.SchedCalendar)
+	if len(qeHeap.Points) != len(qeCal.Points) {
+		log.Fatalf("queuesim: scheduler point counts differ: heap %d calendar %d",
+			len(qeHeap.Points), len(qeCal.Points))
 	}
-	if err := appendJSON("BENCH_queuesim.json", qe); err != nil {
-		log.Fatal(err)
+	for i := range qeHeap.Points {
+		h, c := qeHeap.Points[i], qeCal.Points[i]
+		if !sameQueuesimSim(h, c) {
+			log.Fatalf("queuesim: schedulers diverged at %s qps %.0f:\nheap     %+v\ncalendar %+v",
+				h.Mode, h.QPS, h, c)
+		}
+		fmt.Printf("%-22s qps %9.0f  done %8d  p99 %8.2fms  hwm %8d  heap %5.2f Mev/s  calendar %5.2f Mev/s  %.2fx\n",
+			"queuesim-"+h.Mode, h.QPS, h.Completed, h.P99, h.InFlightHWM,
+			h.EventsPerSec/1e6, c.EventsPerSec/1e6, c.EventsPerSec/h.EventsPerSec)
 	}
-	fmt.Println("appended to BENCH_queuesim.json")
+	for _, qe := range []QueuesimEntry{qeHeap, qeCal} {
+		qe.Timestamp = stamp
+		qe.GoMaxProcs = entry.GoMaxProcs
+		if err := appendJSON("BENCH_queuesim.json", qe); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("appended to BENCH_queuesim.json (heap + calendar entries)")
+	if *only == "queuesim" {
+		return
+	}
 
 	ge := benchGraphs(*seconds, *seed, *workers)
 	ge.Timestamp = stamp
@@ -762,7 +810,7 @@ func benchSyssim(seconds float64, seed int64, workers int) StudyEntry {
 // the CPU baseline, RPU with batch splitting, and the CPU system under
 // an overload policy (timeout + one retry + bounded queues) — the
 // regime where the drain/arrival-window accounting matters most.
-func benchQueuesim(seconds float64, seed int64, workers int) QueuesimEntry {
+func benchQueuesim(seconds float64, seed int64, workers int, sched queuesim.Scheduler) QueuesimEntry {
 	const scale = 100
 	modes := []struct {
 		name       string
@@ -775,10 +823,12 @@ func benchQueuesim(seconds float64, seed int64, workers int) QueuesimEntry {
 			TimeoutMs: 150, MaxRetries: 1, BackoffMs: 5, QueueCap: 100000}},
 	}
 	loads := []float64{0.25, 0.5, 1.0}
-	entry := QueuesimEntry{Workers: workers, Seed: seed, Scale: scale, Seconds: seconds}
+	entry := QueuesimEntry{Workers: workers, Seed: seed, Scale: scale, Seconds: seconds,
+		Scheduler: sched.String()}
 	points, err := core.RunCells(len(modes)*len(loads), workers, func(i int) (QueuesimPoint, error) {
 		mode := modes[i/len(loads)]
-		cfg := queuesim.TailConfig{Config: queuesim.DefaultConfig(), Scale: scale, Policy: mode.policy}
+		cfg := queuesim.TailConfig{Config: queuesim.DefaultConfig(), Scale: scale,
+			Policy: mode.policy, Scheduler: sched}
 		cfg.QPS = 70000 * scale * loads[i%len(loads)]
 		cfg.Seconds = seconds
 		cfg.Warmup = seconds / 4
@@ -798,8 +848,9 @@ func benchQueuesim(seconds float64, seed int64, workers int) QueuesimEntry {
 			TimedOut: m.TimedOut, Rejected: m.Rejected,
 			P50: m.Latency.Percentile(50), P99: m.Latency.Percentile(99),
 			P999: m.Latency.Percentile(99.9),
-			InFlightHWM: m.InFlightHWM, Events: m.Events, WallSec: wall,
-			EventsPerSec: float64(m.Events) / wall,
+			InFlightHWM: m.InFlightHWM, Events: m.Events,
+			CancelledTimers: m.CancelledTimers, WallSec: wall,
+			EventsPerSec:    float64(m.Events) / wall,
 		}, nil
 	})
 	if err != nil {

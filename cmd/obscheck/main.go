@@ -288,7 +288,10 @@ func checkQueuesim(path string) error {
 		GoMaxProcs int     `json:"gomaxprocs"`
 		Scale      float64 `json:"scale"`
 		Seconds    float64 `json:"seconds"`
-		Points     []struct {
+		// Scheduler is optional: entries predate the calendar-queue
+		// switch; present values must name a real scheduler.
+		Scheduler string `json:"scheduler"`
+		Points    []struct {
 			Mode         string  `json:"mode"`
 			QPS          float64 `json:"qps"`
 			Arrived      int     `json:"arrived"`
@@ -299,10 +302,11 @@ func checkQueuesim(path string) error {
 			P50          float64 `json:"p50_ms"`
 			P99          float64 `json:"p99_ms"`
 			P999         float64 `json:"p999_ms"`
-			InFlightHWM  int     `json:"inflight_hwm"`
-			Events       uint64  `json:"events"`
-			WallSec      float64 `json:"wall_s"`
-			EventsPerSec float64 `json:"events_per_sec"`
+			InFlightHWM     int     `json:"inflight_hwm"`
+			Events          uint64  `json:"events"`
+			CancelledTimers uint64  `json:"cancelled_timers"`
+			WallSec         float64 `json:"wall_s"`
+			EventsPerSec    float64 `json:"events_per_sec"`
 		} `json:"points"`
 	}
 	if err := json.Unmarshal(raw, &entries); err != nil {
@@ -323,6 +327,9 @@ func checkQueuesim(path string) error {
 		}
 		if e.Seconds <= 0 {
 			return fmt.Errorf("entry %d: seconds %v", i, e.Seconds)
+		}
+		if e.Scheduler != "" && e.Scheduler != "heap" && e.Scheduler != "calendar" {
+			return fmt.Errorf("entry %d: unknown scheduler %q", i, e.Scheduler)
 		}
 		if len(e.Points) == 0 {
 			return fmt.Errorf("entry %d: no sweep points", i)

@@ -46,6 +46,7 @@ func main() {
 	hedge := flag.Float64("hedge", 0, "tail mode: hedge delay (ms), 0 = no hedging")
 	qcap := flag.Int("qcap", 0, "tail mode: per-station queue cap, 0 = unbounded")
 	drain := flag.Float64("drain", 2, "tail mode: drain horizon (seconds past the arrival window)")
+	schedName := flag.String("sched", "calendar", "tail mode: event scheduler (calendar|heap); outputs are byte-identical, only speed differs")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	obsFlags := obsflag.Add(flag.CommandLine)
@@ -95,9 +96,13 @@ func main() {
 		return
 	}
 	if *tail {
+		sched, err := queuesim.ParseScheduler(*schedName)
+		if err != nil {
+			log.Fatal(err)
+		}
 		tc := tailSweepConfig{
 			seconds: *seconds, seed: *seed, scale: *scale, drain: *drain,
-			legacy:  *legacy,
+			legacy:  *legacy, sched: sched,
 			arrivals: queuesim.ArrivalConfig{
 				Process: queuesim.ParseArrivalProcess(*arrivals),
 				Users:   *users, ThinkMs: *think,
@@ -195,6 +200,7 @@ type tailSweepConfig struct {
 	drain    float64
 	graph    *queuesim.GraphSpec
 	legacy   bool
+	sched    queuesim.Scheduler
 	arrivals queuesim.ArrivalConfig
 	policy   queuesim.PolicyConfig
 }
@@ -234,7 +240,7 @@ func sweepTail(tc tailSweepConfig, qps []float64, parallel int) error {
 		mode := modes[i/np]
 		cfg := queuesim.TailConfig{Config: queuesim.DefaultConfig(),
 			Scale: tc.scale, Arrivals: tc.arrivals, Policy: tc.policy,
-			Graph: tc.graph, Legacy: tc.legacy}
+			Graph: tc.graph, Legacy: tc.legacy, Scheduler: tc.sched}
 		cfg.QPS = qps[i%np]
 		cfg.Seconds = tc.seconds
 		cfg.Warmup = tc.seconds / 4

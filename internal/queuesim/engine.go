@@ -7,12 +7,19 @@
 // byte-identity oracle. Requests and batches live in index-addressed
 // arenas, station queues are packed (index, generation) rings, and
 // every hop is a typed event dispatched through the Sim's non-boxing
-// binary heap — steady-state event dispatch performs zero heap
-// allocations. Cancellation (timeouts, hedge losers) is lazy: a
-// cancelled entry is marked dead and collected by whatever holds it
-// (its pending event, a queue slot, or its batch), and generation
-// counters make stale timer/hedge/retry events no-ops, so nothing is
-// ever searched or removed from the middle of a queue.
+// scheduler — by default the O(1) calendar queue plus hierarchical
+// timer wheel (TailConfig.Scheduler selects the binary-heap oracle) —
+// and steady-state event dispatch performs zero heap allocations.
+// Cancellation (timeouts, hedge losers) is lazy: a cancelled entry is
+// marked dead and collected by whatever holds it (its pending event, a
+// queue slot, or its batch), and generation counters make stale
+// timer/hedge/retry events no-ops, so nothing is ever searched or
+// removed from the middle of a queue. Armed timers additionally carry
+// a TimerID: when a slot is freed (or a batch launches early) the
+// engine cancels them, which the wheel turns into a physical O(1)
+// deschedule while the heap oracle still pops them as stale no-ops —
+// either way the logical cancellation count and every metric agree
+// byte for byte.
 //
 // Ownership discipline: at any instant each live request (and each
 // batch) has exactly one *driver* — the pending event moving it, the
@@ -64,10 +71,14 @@ type ereq struct {
 	parent int32   // fan-out parent slot (sync legs), -1 otherwise
 	pgen   uint32  // parent's generation when the leg was spawned
 	joins  int32   // outstanding sync legs (fan-out parents)
-	coins  uint16  // per-request coin draws (generic executor)
-	stage  int8
-	tries  uint8
-	flags  uint8
+	// hTimeout/hHedge are the armed per-try timeout and hedge timers,
+	// cleared when they fire and cancelled when the slot is freed.
+	hTimeout TimerID
+	hHedge   TimerID
+	coins    uint16 // per-request coin draws (generic executor)
+	stage    int8
+	tries    uint8
+	flags    uint8
 }
 
 // ebatch is one pooled RPU batch (or batch fan-out leg).
@@ -77,6 +88,9 @@ type ebatch struct {
 	gen     uint32
 	parent  int32 // batch fan-out parent, -1 otherwise
 	joins   int32 // outstanding sync batch legs
+	// hTimer is the armed formation timer, cleared when it fires and
+	// cancelled by a size-triggered launch.
+	hTimer  TimerID
 	stage   int8
 	forming bool
 }
@@ -159,6 +173,10 @@ type TailConfig struct {
 	// instead of the spec executor (equivalence oracle; incompatible
 	// with Graph).
 	Legacy bool
+	// Scheduler selects the pending-event container. The zero value is
+	// SchedCalendar (calendar queue + timer wheel, the O(1) default);
+	// SchedHeap keeps the binary heap as the byte-identity oracle.
+	Scheduler Scheduler
 }
 
 // DefaultTailConfig returns the 100x Figure 22 analog: one hundred
@@ -198,11 +216,20 @@ type TailMetrics struct {
 	// InFlightHWM is the high-water mark of requests in the system
 	// (including retry, hedge and fan-out copies).
 	InFlightHWM int
-	// Events is the number of simulator events dispatched.
-	Events       uint64
-	Batches      int
-	AvgBatchFill float64
-	SplitBatches int
+	// Events is the number of *useful* simulator events dispatched:
+	// stale gen-checked timer no-ops are subtracted, so the count is
+	// identical whichever scheduler ran the point (the heap oracle
+	// pops a cancelled timer as a stale no-op; the calendar scheduler
+	// never dispatches it at all).
+	Events uint64
+	// CancelledTimers counts timers logically descheduled (timeouts
+	// and hedges of freed slots, size-preempted batch timers) —
+	// identical across schedulers; only the calendar scheduler turns
+	// each into a physical O(1) removal.
+	CancelledTimers uint64
+	Batches         int
+	AvgBatchFill    float64
+	SplitBatches    int
 }
 
 // Saturated reports whether the system failed to keep up with offered
@@ -252,6 +279,11 @@ type engine struct {
 	reqs  []ereq
 	freeR []int32
 	live  int
+
+	// staleEvents counts dispatched timer events whose generation check
+	// failed (or whose target was already dead/launched) — the no-op
+	// pops TailMetrics.Events subtracts to stay scheduler-invariant.
+	staleEvents uint64
 
 	batches    []ebatch
 	freeB      []int32
@@ -314,7 +346,7 @@ func newTailEngine(cfg TailConfig) (*engine, error) {
 		return nil, fmt.Errorf("queuesim: graph %q has no batch path; RPU mode needs one", g.name)
 	}
 
-	sim := NewSim(cfg.Seed)
+	sim := NewSimSched(cfg.Seed, cfg.Scheduler)
 	sim.Mon = cfg.Monitor
 	e := &engine{cfg: cfg, pol: cfg.Policy, sim: sim, g: g, legacy: cfg.Legacy,
 		forming: -1, inflightTS: math.Inf(-1)}
@@ -389,7 +421,8 @@ func (e *engine) run() *TailMetrics {
 	if e.arr.Process == ArrClosed && e.m.Measured > 0 {
 		e.m.Offered = float64(e.m.Arrived) / e.m.Measured
 	}
-	e.m.Events = e.sim.Events()
+	e.m.Events = e.sim.Events() - e.staleEvents
+	e.m.CancelledTimers = e.sim.CancelledTimers()
 	e.finalizeObs()
 	return e.m
 }
@@ -418,6 +451,35 @@ func (e *engine) finalizeObs() {
 	sc.Counter("hedged").Add(int64(e.m.Hedged))
 	sc.Counter("rejected").Add(int64(e.m.Rejected))
 	sc.Counter("events").Add(int64(e.m.Events))
+	e.finalizeSchedObs()
+}
+
+// finalizeSchedObs reports the scheduler's own health under
+// queuesim.<label>.sched: the logical cancellation count plus, under
+// the calendar scheduler, the calendar's resize/occupancy stats and
+// the wheel's cascade/deschedule counters.
+func (e *engine) finalizeSchedObs() {
+	m := e.cfg.Monitor
+	if m == nil || m.Reg == nil {
+		return
+	}
+	sc := m.Reg.Scope(ScopeName(m.Label, "sched"))
+	sc.Counter("stale_timer_events").Add(int64(e.staleEvents))
+	sc.Counter("cancelled_timers").Add(int64(e.sim.ncancel))
+	if e.cfg.Scheduler != SchedCalendar {
+		return
+	}
+	cal, tw := &e.sim.cal, &e.sim.tw
+	sc.Counter("cal_resizes").Add(int64(cal.resizes))
+	sc.Counter("cal_direct_scans").Add(int64(cal.directScans))
+	sc.Gauge("cal_bucket_hwm").Set(int64(cal.bucketHWM))
+	sc.Gauge("cal_buckets").Set(int64(len(cal.buckets)))
+	sc.Counter("wheel_armed").Add(int64(tw.armed))
+	sc.Counter("wheel_fired").Add(int64(tw.fired))
+	sc.Counter("wheel_descheduled").Add(int64(tw.cancelled))
+	sc.Counter("wheel_cascades").Add(int64(tw.cascades))
+	sc.Counter("wheel_overflows").Add(int64(tw.overflows))
+	sc.Gauge("wheel_due_hwm").Set(int64(tw.dueHWM))
 }
 
 // handle routes typed events; this is the whole steady-state hot path.
@@ -477,6 +539,18 @@ func (e *engine) alloc() int32 {
 
 func (e *engine) free(idx int32) {
 	r := &e.reqs[idx]
+	// The slot's armed timers can never fire usefully once the
+	// generation advances; deschedule them instead of leaving stale
+	// no-op pops behind. (The retry timer is never cancelled: a slot
+	// backing off has the retry event as its driver, which frees it.)
+	if r.hTimeout != 0 {
+		e.sim.Cancel(r.hTimeout)
+		r.hTimeout = 0
+	}
+	if r.hHedge != 0 {
+		e.sim.Cancel(r.hHedge)
+		r.hHedge = 0
+	}
 	r.gen++
 	// Clear the outcome state alongside flags: a hedge armed against a
 	// try that was inline-rejected (and hence freed) reads this slot, so
@@ -500,7 +574,7 @@ func (e *engine) sampleInflight() {
 	}
 	e.inflightTS = e.sim.now
 	m.Sink.CounterPair("inflight", m.PID, e.sim.now*1000,
-		"live", float64(e.live), "events_pending", float64(len(e.sim.pq)))
+		"live", float64(e.live), "events_pending", float64(e.sim.Pending()))
 }
 
 // --- request lifecycle ---
@@ -537,7 +611,7 @@ func (e *engine) issue(user int32) {
 	}
 	e.launchTry(idx)
 	if e.pol.HedgeMs > 0 {
-		e.sim.AtEvent(e.pol.HedgeMs, ekHedge, idx, int32(e.reqs[idx].gen))
+		e.reqs[idx].hHedge = e.sim.AtTimer(e.pol.HedgeMs, ekHedge, idx, int32(e.reqs[idx].gen))
 	}
 }
 
@@ -545,7 +619,7 @@ func (e *engine) issue(user int32) {
 // graph entry (stage 0 is entered directly, as in Run).
 func (e *engine) launchTry(idx int32) {
 	if e.pol.TimeoutMs > 0 {
-		e.sim.AtEvent(e.pol.TimeoutMs, ekTimeout, idx, int32(e.reqs[idx].gen))
+		e.reqs[idx].hTimeout = e.sim.AtTimer(e.pol.TimeoutMs, ekTimeout, idx, int32(e.reqs[idx].gen))
 	}
 	if e.legacy {
 		e.enterL(idx, stWeb)
@@ -659,7 +733,15 @@ func (e *engine) complete(idx int32) {
 
 func (e *engine) onTimeout(idx, gen int32) {
 	r := &e.reqs[idx]
-	if r.gen != uint32(gen) || r.flags&rfDead != 0 {
+	if r.gen != uint32(gen) {
+		// The slot was freed (its timer was cancelled under the wheel;
+		// the heap oracle still pops it): a stale no-op.
+		e.staleEvents++
+		return
+	}
+	r.hTimeout = 0 // this firing consumes the slot's armed timeout
+	if r.flags&rfDead != 0 {
+		e.staleEvents++
 		return
 	}
 	e.m.TimedOut++
@@ -699,7 +781,10 @@ func (e *engine) abandonTry(idx int32, isDriver bool) {
 			}
 			r.twin = -1
 		}
-		e.sim.AtEvent(e.backoff(c.tries), ekRetry, n, int32(c.gen))
+		// The retry rides the wheel too, but keeps no handle: the timer
+		// is the backing-off slot's driver and must always fire (it
+		// frees a slot whose twin resolved during the backoff).
+		e.sim.AtTimer(e.backoff(c.tries), ekRetry, n, int32(c.gen))
 	} else {
 		e.failTry(idx)
 	}
@@ -734,6 +819,7 @@ func (e *engine) failTry(idx int32) {
 func (e *engine) onRetry(idx, gen int32) {
 	r := &e.reqs[idx]
 	if r.gen != uint32(gen) {
+		e.staleEvents++
 		return
 	}
 	if r.flags&rfDead != 0 {
@@ -745,7 +831,13 @@ func (e *engine) onRetry(idx, gen int32) {
 
 func (e *engine) onHedge(idx, gen int32) {
 	r := &e.reqs[idx]
-	if r.gen != uint32(gen) || r.flags&rfDead != 0 || r.twin >= 0 {
+	if r.gen != uint32(gen) {
+		e.staleEvents++
+		return
+	}
+	r.hHedge = 0 // this firing consumes the slot's armed hedge
+	if r.flags&rfDead != 0 || r.twin >= 0 {
+		e.staleEvents++
 		return
 	}
 	e.m.Hedged++
@@ -789,6 +881,10 @@ func (e *engine) allocBatch() int32 {
 
 func (e *engine) freeBatch(idx int32) {
 	b := &e.batches[idx]
+	if b.hTimer != 0 {
+		e.sim.Cancel(b.hTimer)
+		b.hTimer = 0
+	}
 	b.gen++
 	b.forming = false
 	e.memberPool = append(e.memberPool, b.members)
@@ -806,7 +902,7 @@ func (e *engine) joinBatch(idx int32) {
 		e.forming = bi
 		b := &e.batches[bi]
 		b.forming = true
-		e.sim.AtEvent(e.cfg.BatchTimeout, ekBatchTimer, bi, int32(b.gen))
+		b.hTimer = e.sim.AtTimer(e.cfg.BatchTimeout, ekBatchTimer, bi, int32(b.gen))
 	}
 	b := &e.batches[e.forming]
 	b.members = append(b.members, idx)
@@ -819,7 +915,13 @@ func (e *engine) joinBatch(idx int32) {
 
 func (e *engine) onBatchTimer(bi, gen int32) {
 	b := &e.batches[bi]
-	if b.gen != uint32(gen) || !b.forming {
+	if b.gen != uint32(gen) {
+		e.staleEvents++
+		return
+	}
+	b.hTimer = 0 // this firing consumes the batch's armed timer
+	if !b.forming {
+		e.staleEvents++
 		return
 	}
 	e.forming = -1
@@ -828,6 +930,12 @@ func (e *engine) onBatchTimer(bi, gen int32) {
 
 func (e *engine) launchBatch(bi int32) {
 	b := &e.batches[bi]
+	if b.hTimer != 0 {
+		// Size-triggered launch: the formation timer can never fire
+		// usefully again, so deschedule it.
+		e.sim.Cancel(b.hTimer)
+		b.hTimer = 0
+	}
 	b.forming = false
 	e.m.Batches++
 	e.m.AvgBatchFill += float64(len(b.members))
